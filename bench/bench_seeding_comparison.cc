@@ -1,0 +1,157 @@
+// Seeding landscape (extension bench): the paper's introduction surveys
+// fast seeding methods — k-means++ (O(ndk)), k-means|| (few parallel
+// rounds), AFK-MC^2 (sublinear per center, reference [5]), Fast-kmeans++
+// (quadtree, the paper's choice) and our HST tree-greedy (§8.4). This
+// bench measures, for each: seeding time, solution cost, and — the
+// paper's real question — the distortion of the sensitivity-sampling
+// coreset built *from that seed*, showing that an O(polylog) seed is all
+// a coreset needs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/clustering/afkmc2.h"
+#include "src/clustering/fast_kmeans_plus_plus.h"
+#include "src/clustering/kmeans_parallel.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/tree_greedy.h"
+#include "src/core/sensitivity_sampling.h"
+#include "src/data/generators.h"
+#include "src/eval/distortion.h"
+#include "src/eval/harness.h"
+#include "src/geometry/distance.h"
+#include "src/geometry/jl_projection.h"
+
+namespace {
+
+using namespace fastcoreset;
+
+using SeedFn = Clustering (*)(const Matrix&, size_t, Rng&);
+
+Clustering SeedKmpp(const Matrix& points, size_t k, Rng& rng) {
+  return KMeansPlusPlus(points, {}, k, 2, rng);
+}
+Clustering SeedParallel(const Matrix& points, size_t k, Rng& rng) {
+  KMeansParallelOptions options;
+  return KMeansParallel(points, {}, k, options, rng);
+}
+Clustering SeedAfkmc2(const Matrix& points, size_t k, Rng& rng) {
+  Afkmc2Options options;
+  return Afkmc2(points, {}, k, options, rng);
+}
+/// Algorithm 1 steps 1+3 around a tree-based seeder: seed on a JL
+/// projection (quadtrees fragment in high dimension — the reason the
+/// paper projects first), then move each cluster's center to its mean in
+/// the original space and recompute assignment costs there.
+Clustering ProjectSeedRefine(const Matrix& points, size_t k, Rng& rng,
+                             bool tree_greedy) {
+  const size_t target = JlTargetDim(k, 0.7, points.cols());
+  const Matrix projected = target < points.cols()
+                               ? JlProject(points, target, rng)
+                               : points;
+  Clustering seeded;
+  if (tree_greedy) {
+    TreeGreedyOptions options;
+    seeded = TreeGreedySeeding(projected, {}, k, options, rng);
+  } else {
+    FastKMeansPlusPlusOptions options;
+    seeded = FastKMeansPlusPlus(projected, {}, k, options, rng);
+  }
+  // Refine: original-space cluster means under the seeded assignment.
+  const size_t clusters = seeded.centers.rows();
+  Matrix centers(clusters, points.cols());
+  std::vector<double> mass(clusters, 0.0);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const size_t c = seeded.assignment[i];
+    mass[c] += 1.0;
+    const auto row = points.Row(i);
+    auto center = centers.Row(c);
+    for (size_t j = 0; j < points.cols(); ++j) center[j] += row[j];
+  }
+  for (size_t c = 0; c < clusters; ++c) {
+    if (mass[c] <= 0.0) continue;
+    auto center = centers.Row(c);
+    for (size_t j = 0; j < points.cols(); ++j) center[j] /= mass[c];
+  }
+  Clustering result;
+  result.z = 2;
+  result.centers = std::move(centers);
+  result.assignment = seeded.assignment;
+  result.point_costs.resize(points.rows());
+  result.total_cost = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    result.point_costs[i] = SquaredL2(
+        points.Row(i), result.centers.Row(result.assignment[i]));
+    result.total_cost += result.point_costs[i];
+  }
+  return result;
+}
+
+Clustering SeedFast(const Matrix& points, size_t k, Rng& rng) {
+  return ProjectSeedRefine(points, k, rng, /*tree_greedy=*/false);
+}
+Clustering SeedTreeGreedy(const Matrix& points, size_t k, Rng& rng) {
+  return ProjectSeedRefine(points, k, rng, /*tree_greedy=*/true);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Seeding comparison — time, cost, and coreset quality per "
+                "seed (extension)",
+                "any O(polylog)-approximate seed yields an equally good "
+                "sensitivity-sampling coreset (Fact 3.1)");
+
+  const size_t n = static_cast<size_t>(50000 * bench::Scale());
+  const size_t k = bench::K();
+  const size_t m = 40 * k;
+  const int runs = bench::Runs();
+  Rng data_rng(2024);
+  const Matrix points =
+      GenerateGaussianMixture(n, 30, k, /*gamma=*/2.0, data_rng);
+
+  struct Method {
+    const char* name;
+    SeedFn seed;
+  };
+  const Method methods[] = {
+      {"k-means++ (O(ndk))", &SeedKmpp},
+      {"k-means|| (5 rounds)", &SeedParallel},
+      {"AFK-MC^2 (chain 200)", &SeedAfkmc2},
+      {"Fast-kmeans++ (JL + quadtree + refine)", &SeedFast},
+      {"HST tree-greedy (JL + refine, §8.4)", &SeedTreeGreedy},
+  };
+
+  TablePrinter table;
+  table.SetHeader({"seeder", "seed seconds", "seed cost",
+                   "coreset distortion"});
+  for (const Method& method : methods) {
+    RunningStat seconds, cost, distortion;
+    for (int t = 0; t < runs; ++t) {
+      Rng rng(4000 + t);
+      Timer timer;
+      const Clustering seed = method.seed(points, k, rng);
+      seconds.Add(timer.Seconds());
+      cost.Add(seed.total_cost);
+      const Coreset coreset =
+          SensitivitySamplingFromSolution(points, {}, seed, m, rng);
+      DistortionOptions probe;
+      probe.k = k;
+      distortion.Add(CoresetDistortion(points, {}, coreset, probe, rng));
+    }
+    table.AddRow({method.name, TablePrinter::Num(seconds.Mean()),
+                  TablePrinter::Num(cost.Mean()),
+                  TablePrinter::MeanVar(distortion.Mean(),
+                                        distortion.Variance())});
+    std::printf("done: %s\n", method.name);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nSeeding landscape on a gamma=2 Gaussian mixture "
+              "(n=%zu, d=30, k=%zu)\n", n, k);
+  table.Print();
+  std::printf("\nExpected shape: seed costs differ by large factors, but "
+              "every coreset-distortion cell sits near 1 — the coreset "
+              "oversampling absorbs the seed's approximation factor.\n");
+  return 0;
+}

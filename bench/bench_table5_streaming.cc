@@ -1,0 +1,92 @@
+// Table 5 + Figure 5: streaming (merge-&-reduce) vs static distortion and
+// runtime for the sampling spectrum on the artificial datasets plus the
+// Adult- and MNIST-like stand-ins.
+//
+// Paper shape (the surprising one): the accelerated methods perform *at
+// least as well* under composition as statically — merge-&-reduce's
+// non-uniformity can even rescue uniform sampling on outlier-heavy data.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/samplers.h"
+#include "src/data/real_like.h"
+#include "src/eval/distortion.h"
+#include "src/eval/harness.h"
+#include "src/streaming/merge_reduce.h"
+
+int main() {
+  using namespace fastcoreset;
+  bench::Banner("Table 5 / Figure 5 — streaming vs static distortion",
+                "accelerated methods do not degrade under merge-&-reduce "
+                "composition");
+
+  Rng data_rng(5);
+  std::vector<Dataset> datasets = ArtificialSuite(bench::Scale(), data_rng);
+  datasets.push_back(
+      MakeAdultLike(static_cast<size_t>(20000 * bench::Scale()), data_rng));
+  datasets.push_back(
+      MakeMnistLike(static_cast<size_t>(10000 * bench::Scale()), data_rng));
+  const size_t k = bench::K();
+  const size_t m = 40 * k;
+  const int runs = bench::Runs();
+  const auto samplers = {SamplerKind::kUniform, SamplerKind::kLightweight,
+                         SamplerKind::kWelterweight,
+                         SamplerKind::kFastCoreset};
+
+  TablePrinter table;
+  TablePrinter runtime_table;
+  std::vector<std::string> header = {"Dataset"};
+  for (SamplerKind kind : samplers) {
+    header.push_back(SamplerName(kind) + " strm");
+    header.push_back(SamplerName(kind) + " stat");
+  }
+  table.SetHeader(header);
+  runtime_table.SetHeader(header);
+
+  for (const auto& dataset : datasets) {
+    std::vector<std::string> row = {dataset.name};
+    std::vector<std::string> runtime_row = {dataset.name};
+    const size_t block =
+        std::max<size_t>(2 * m, dataset.points.rows() / 8);
+    for (SamplerKind kind : samplers) {
+      for (const bool streaming : {true, false}) {
+        double build_seconds = 0.0;
+        const TrialStats stats = RunTrials(
+            runs, 13000 + 29 * static_cast<uint64_t>(kind) + streaming,
+            [&](Rng& rng) {
+              Timer timer;
+              Coreset coreset;
+              if (streaming) {
+                coreset = StreamingCompress(
+                    dataset.points, {}, MakeCoresetBuilder(kind, k, 2),
+                    block, m, rng);
+              } else {
+                coreset = BuildCoreset(kind, dataset.points, {}, k, m, 2,
+                                       rng);
+              }
+              build_seconds += timer.Seconds();
+              DistortionOptions probe;
+              probe.k = k;
+              return CoresetDistortion(dataset.points, {}, coreset, probe,
+                                       rng);
+            });
+        row.push_back(bench::DistortionCell(stats.value.Mean(),
+                                            stats.value.Variance()));
+        runtime_row.push_back(TablePrinter::Num(build_seconds / runs));
+      }
+    }
+    table.AddRow(row);
+    runtime_table.AddRow(runtime_row);
+    std::printf("done: %s\n", dataset.name.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nTable 5 — distortion, streaming (strm) vs static (stat)\n");
+  table.Print();
+  std::printf("\nFigure 5 (bottom) — mean construction seconds\n");
+  runtime_table.Print();
+  std::printf("\nExpected shape: streaming columns are no worse than their "
+              "static counterparts (often better on c-outlier/Geometric).\n");
+  return 0;
+}

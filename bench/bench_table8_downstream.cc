@@ -1,0 +1,67 @@
+// Table 8: downstream solution quality. For each real-like dataset,
+// compress with each fast method, run k-means++ (k = 50) + Lloyd on the
+// compression, and report cost(P, C_S) on the full data with identical
+// initialization seeds within each row. Paper shape: among methods with
+// small distortion, no method consistently wins — compression quality,
+// not method identity, drives downstream cost.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/lloyd.h"
+#include "src/core/samplers.h"
+#include "src/data/real_like.h"
+
+int main() {
+  using namespace fastcoreset;
+  bench::Banner("Table 8 — downstream k-means cost from each compression",
+                "no sampling method consistently yields the best solutions "
+                "once distortion is small");
+
+  Rng data_rng(8);
+  const auto suite = RealLikeSuite(bench::Scale(), data_rng);
+  const size_t k = 50;
+  const auto samplers = {SamplerKind::kUniform, SamplerKind::kLightweight,
+                         SamplerKind::kWelterweight,
+                         SamplerKind::kFastCoreset};
+
+  TablePrinter table;
+  std::vector<std::string> header = {"Dataset"};
+  for (SamplerKind kind : samplers) header.push_back(SamplerName(kind));
+  table.SetHeader(header);
+
+  size_t row_seed = 0;
+  for (const auto& dataset : suite) {
+    const size_t m =
+        dataset.points.rows() > 100000 ? 20000 : 4000;  // Paper's setup.
+    std::vector<std::string> row = {dataset.name};
+    ++row_seed;
+    for (SamplerKind kind : samplers) {
+      // Identical initialization within a row: the coreset build gets a
+      // method-specific stream, the solver a row-fixed one.
+      Rng build_rng(19000 + 97 * static_cast<uint64_t>(kind) + row_seed);
+      const Coreset coreset = BuildCoreset(kind, dataset.points, {}, k,
+                                           std::min(m, dataset.points.rows()),
+                                           /*z=*/2, build_rng);
+      Rng solve_rng(500 + row_seed);  // Same within the row.
+      const Clustering seed =
+          KMeansPlusPlus(coreset.points, coreset.weights, k, 2, solve_rng);
+      const Clustering refined =
+          LloydKMeans(coreset.points, coreset.weights, seed.centers);
+      const double cost = CostToCenters(dataset.points, {}, refined.centers, 2);
+      row.push_back(TablePrinter::Num(cost, 3));
+    }
+    table.AddRow(row);
+    std::printf("done: %s\n", dataset.name.c_str());
+    std::fflush(stdout);
+  }
+
+  std::printf("\nTable 8 — cost(P, C_S), k = 50, identical inits per row\n");
+  table.Print();
+  std::printf("\nExpected shape: columns within a row agree within a few "
+              "percent wherever the method's distortion is small; no column "
+              "dominates.\n");
+  return 0;
+}

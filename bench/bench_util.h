@@ -1,0 +1,44 @@
+// Shared helpers for the experiment binaries. Every bench honours:
+//   FC_SCALE — dataset size multiplier (default 1.0; the built-in sizes
+//              are already scaled from the paper's to a laptop budget)
+//   FC_RUNS  — repetitions per cell (default 3; the paper uses 5)
+//   FC_K     — cluster count (default 100, as in the paper's small-k runs)
+
+#ifndef FASTCORESET_BENCH_BENCH_UTIL_H_
+#define FASTCORESET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/env.h"
+#include "src/common/table_printer.h"
+
+namespace fastcoreset {
+namespace bench {
+
+inline double Scale() { return EnvDouble("FC_SCALE", 1.0); }
+inline int Runs() { return static_cast<int>(EnvInt("FC_RUNS", 3)); }
+inline size_t K() { return static_cast<size_t>(EnvInt("FC_K", 100)); }
+
+/// Formats a distortion cell with the paper's failure markers:
+/// "> 5" bold (here: *...*), "> 10" underlined (here: **...**).
+inline std::string DistortionCell(double mean, double variance) {
+  const std::string body = TablePrinter::MeanVar(mean, variance);
+  if (mean > 10.0) return "**" + body + "**";
+  if (mean > 5.0) return "*" + body + "*";
+  return body;
+}
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("FC_SCALE=%.2f FC_RUNS=%d FC_K=%zu\n", Scale(), Runs(), K());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace bench
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_BENCH_BENCH_UTIL_H_

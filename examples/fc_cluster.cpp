@@ -1,0 +1,91 @@
+// Command-line clustering tool: the second half of the fc_compress
+// pipeline. Reads a headerless numeric CSV — optionally with a trailing
+// weight column, as written by fc_compress — runs k-means or k-median
+// (k-means++/k-median++ seeding + Lloyd/Weiszfeld refinement), and writes
+// the centers as CSV.
+//
+//   fc_cluster <input.csv> <centers_out.csv> [k] [z] [--weighted] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/kmedian.h"
+#include "src/clustering/lloyd.h"
+#include "src/common/timer.h"
+#include "src/data/csv_loader.h"
+
+int main(int argc, char** argv) {
+  using namespace fastcoreset;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <input.csv> <centers_out.csv> [k] [z] "
+                 "[--weighted] [seed]\n"
+                 "  --weighted: treat the last CSV column as point weights\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string input = argv[1];
+  const std::string output = argv[2];
+  const size_t k = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+  const int z = argc > 4 ? std::atoi(argv[4]) : 2;
+  bool weighted = false;
+  uint64_t seed = 1;
+  for (int a = 5; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--weighted") == 0) {
+      weighted = true;
+    } else {
+      seed = std::strtoull(argv[a], nullptr, 10);
+    }
+  }
+
+  const auto raw = LoadCsv(input);
+  if (!raw.has_value()) {
+    std::fprintf(stderr, "error: could not parse %s\n", input.c_str());
+    return 1;
+  }
+  if (weighted && raw->cols() < 2) {
+    std::fprintf(stderr, "error: --weighted needs >= 2 columns\n");
+    return 1;
+  }
+
+  Matrix points;
+  std::vector<double> weights;
+  if (weighted) {
+    points = Matrix(raw->rows(), raw->cols() - 1);
+    weights.resize(raw->rows());
+    for (size_t i = 0; i < raw->rows(); ++i) {
+      for (size_t j = 0; j + 1 < raw->cols(); ++j) {
+        points.At(i, j) = raw->At(i, j);
+      }
+      weights[i] = raw->At(i, raw->cols() - 1);
+      if (weights[i] <= 0.0) {
+        std::fprintf(stderr, "error: non-positive weight in row %zu\n", i);
+        return 1;
+      }
+    }
+  } else {
+    points = *raw;
+  }
+  std::printf("loaded %zu x %zu (%s) from %s\n", points.rows(),
+              points.cols(), weighted ? "weighted" : "unweighted",
+              input.c_str());
+
+  Rng rng(seed);
+  Timer timer;
+  const Clustering seeded = KMeansPlusPlus(points, weights, k, z, rng);
+  const Clustering refined =
+      z == 2 ? LloydKMeans(points, weights, seeded.centers)
+             : LloydKMedian(points, weights, seeded.centers);
+  const double seconds = timer.Seconds();
+
+  if (!SaveCsv(output, refined.centers)) {
+    std::fprintf(stderr, "error: could not write %s\n", output.c_str());
+    return 1;
+  }
+  std::printf("k=%zu z=%d cost=%.6e in %.2fs; centers -> %s\n", k, z,
+              refined.total_cost, seconds, output.c_str());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Command-line compression tool: reads a headerless numeric CSV, builds a
+// coreset with any method in the library, and writes the compressed rows
+// plus a weight column. A downstream user can feed the output into any
+// weighted clustering implementation.
+//
+//   fc_compress <input.csv> <output.csv> [method] [k] [m] [z] [seed]
+//     method: uniform | lightweight | welterweight | sensitivity |
+//             fast (default) | group
+//     k: target cluster count (default 100)
+//     m: coreset size (default 40 * k)
+//     z: 1 = k-median, 2 = k-means (default 2)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/timer.h"
+#include "src/core/fast_coreset.h"
+#include "src/core/group_sampling.h"
+#include "src/core/samplers.h"
+#include "src/data/csv_loader.h"
+
+int main(int argc, char** argv) {
+  using namespace fastcoreset;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <input.csv> <output.csv> [method] [k] [m] [z] "
+                 "[seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string input = argv[1];
+  const std::string output = argv[2];
+  const std::string method = argc > 3 ? argv[3] : "fast";
+  const size_t k = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 100;
+  const size_t m = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 40 * k;
+  const int z = argc > 6 ? std::atoi(argv[6]) : 2;
+  const uint64_t seed = argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 1;
+
+  const auto points = LoadCsv(input);
+  if (!points.has_value()) {
+    std::fprintf(stderr, "error: could not parse %s\n", input.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu x %zu from %s\n", points->rows(), points->cols(),
+              input.c_str());
+
+  Rng rng(seed);
+  Timer timer;
+  Coreset coreset;
+  if (method == "uniform") {
+    coreset = BuildCoreset(SamplerKind::kUniform, *points, {}, k, m, z, rng);
+  } else if (method == "lightweight") {
+    coreset =
+        BuildCoreset(SamplerKind::kLightweight, *points, {}, k, m, z, rng);
+  } else if (method == "welterweight") {
+    coreset =
+        BuildCoreset(SamplerKind::kWelterweight, *points, {}, k, m, z, rng);
+  } else if (method == "sensitivity") {
+    coreset =
+        BuildCoreset(SamplerKind::kSensitivity, *points, {}, k, m, z, rng);
+  } else if (method == "fast") {
+    coreset =
+        BuildCoreset(SamplerKind::kFastCoreset, *points, {}, k, m, z, rng);
+  } else if (method == "group") {
+    GroupSamplingOptions options;
+    options.k = k;
+    options.m = m;
+    options.z = z;
+    coreset = GroupSamplingCoreset(*points, {}, options, rng);
+  } else {
+    std::fprintf(stderr, "error: unknown method '%s'\n", method.c_str());
+    return 2;
+  }
+  const double seconds = timer.Seconds();
+
+  // Output rows: original columns plus a trailing weight column.
+  Matrix out(coreset.size(), points->cols() + 1);
+  for (size_t r = 0; r < coreset.size(); ++r) {
+    for (size_t j = 0; j < points->cols(); ++j) {
+      out.At(r, j) = coreset.points.At(r, j);
+    }
+    out.At(r, points->cols()) = coreset.weights[r];
+  }
+  if (!SaveCsv(output, out)) {
+    std::fprintf(stderr, "error: could not write %s\n", output.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %zu weighted rows (total weight %.1f, %.1fx compression) to %s "
+      "in %.2fs\n",
+      coreset.size(), coreset.TotalWeight(),
+      static_cast<double>(points->rows()) / coreset.size(), output.c_str(),
+      seconds);
+  return 0;
+}

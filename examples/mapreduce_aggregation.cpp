@@ -1,0 +1,97 @@
+// Scenario: the MapReduce pattern of Section 2.3. Data is partitioned
+// randomly among w workers; each worker computes a coreset of its shard
+// and ships only O(m) weighted points to the host; the union of the
+// shards' coresets is a coreset of the full dataset (composability), so
+// the host can cluster the tiny union instead of the full data. Total
+// communication is independent of n.
+//
+//   build/examples/mapreduce_aggregation
+
+#include <cstdio>
+#include <vector>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/lloyd.h"
+#include "src/common/table_printer.h"
+#include "src/common/timer.h"
+#include "src/core/fast_coreset.h"
+#include "src/data/generators.h"
+#include "src/eval/distortion.h"
+
+int main() {
+  using namespace fastcoreset;
+  Rng rng(1234);
+
+  const size_t n = 200000, d = 20, k = 30;
+  const size_t m_per_worker = 20 * k;
+  std::printf("Generating %zu x %zu mixture; clustering with k=%zu...\n", n,
+              d, k);
+  const Matrix points = GenerateGaussianMixture(n, d, k, /*gamma=*/2.5, rng);
+
+  TablePrinter table;
+  table.SetHeader({"workers", "host points", "k-means cost on P",
+                   "distortion", "wall seconds"});
+
+  Rng direct_rng(1);
+  Timer direct_timer;
+  const Clustering direct = LloydKMeans(
+      points, {}, KMeansPlusPlus(points, {}, k, 2, direct_rng).centers);
+  table.AddRow({"0 (direct)", std::to_string(n),
+                TablePrinter::Num(direct.total_cost), "-",
+                TablePrinter::Num(direct_timer.Seconds())});
+
+  for (size_t workers : {2, 8, 32}) {
+    Timer timer;
+    // Map: random partition, one Fast-Coreset per worker. (Workers are
+    // sequential here; in a real deployment they run in parallel, so the
+    // wall-clock would be ~1/workers of the mapped time.)
+    Rng shard_rng(100 + workers);
+    std::vector<std::vector<size_t>> shards(workers);
+    for (size_t i = 0; i < n; ++i) {
+      shards[shard_rng.NextIndex(workers)].push_back(i);
+    }
+    Coreset host_union;
+    host_union.points = Matrix(0, d);
+    for (size_t w = 0; w < workers; ++w) {
+      const Matrix shard = points.SelectRows(shards[w]);
+      FastCoresetOptions options;
+      options.k = k;
+      options.m = m_per_worker;
+      Rng worker_rng(1000 + w);
+      Coreset local = FastCoreset(shard, {}, options, worker_rng);
+      // Reduce: union of coresets is a coreset of the union.
+      for (size_t r = 0; r < local.size(); ++r) {
+        host_union.indices.push_back(
+            local.indices[r] == Coreset::kSyntheticIndex
+                ? Coreset::kSyntheticIndex
+                : shards[w][local.indices[r]]);
+      }
+      host_union.weights.insert(host_union.weights.end(),
+                                local.weights.begin(), local.weights.end());
+      host_union.points.AppendRows(local.points);
+    }
+
+    // Host: cluster the union.
+    Rng host_rng(7);
+    const Clustering seed =
+        KMeansPlusPlus(host_union.points, host_union.weights, k, 2, host_rng);
+    const Clustering refined =
+        LloydKMeans(host_union.points, host_union.weights, seed.centers);
+    const double cost = CostToCenters(points, {}, refined.centers, 2);
+
+    DistortionOptions probe;
+    probe.k = k;
+    const double distortion =
+        CoresetDistortion(points, {}, host_union, probe, host_rng);
+    table.AddRow({std::to_string(workers),
+                  std::to_string(host_union.size()),
+                  TablePrinter::Num(cost), TablePrinter::Num(distortion),
+                  TablePrinter::Num(timer.Seconds())});
+  }
+
+  table.Print();
+  std::printf("\nThe host never sees more than workers * m weighted points, "
+              "yet its solution matches clustering the full data.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: compress a large dataset with a Fast-Coreset, cluster on the
+// compression, and verify the solution is as good as clustering the full
+// data — at a fraction of the cost.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/lloyd.h"
+#include "src/common/timer.h"
+#include "src/core/fast_coreset.h"
+#include "src/data/generators.h"
+#include "src/eval/distortion.h"
+
+int main() {
+  using namespace fastcoreset;
+  Rng rng(2024);
+
+  // 1. A dataset too large to cluster comfortably: 100k points, 30 dims,
+  //    40 imbalanced Gaussian clusters.
+  const size_t n = 100000, d = 30, k = 40;
+  std::printf("Generating %zu x %zu Gaussian mixture (kappa=%zu)...\n", n, d,
+              k);
+  const Matrix points = GenerateGaussianMixture(n, d, k, /*gamma=*/2.0, rng);
+
+  // 2. Build a strong coreset in near-linear time.
+  FastCoresetOptions options;
+  options.k = k;
+  options.m = 40 * k;  // The paper's default coreset size.
+  Timer coreset_timer;
+  const Coreset coreset = FastCoreset(points, /*weights=*/{}, options, rng);
+  const double coreset_seconds = coreset_timer.Seconds();
+  std::printf("Fast-Coreset: %zu weighted points in %.2fs (%.1fx smaller)\n",
+              coreset.size(), coreset_seconds,
+              static_cast<double>(n) / coreset.size());
+
+  // 3. Cluster the coreset (cheap) and the full data (expensive) and
+  //    compare the resulting k-means costs on the full data.
+  Timer small_timer;
+  const Clustering seed_small =
+      KMeansPlusPlus(coreset.points, coreset.weights, k, 2, rng);
+  const Clustering on_coreset =
+      LloydKMeans(coreset.points, coreset.weights, seed_small.centers);
+  const double small_seconds = small_timer.Seconds();
+
+  Timer full_timer;
+  const Clustering seed_full = KMeansPlusPlus(points, {}, k, 2, rng);
+  const Clustering on_full = LloydKMeans(points, {}, seed_full.centers);
+  const double full_seconds = full_timer.Seconds();
+
+  const double cost_via_coreset =
+      CostToCenters(points, {}, on_coreset.centers, 2);
+  std::printf("\n%-28s %12s %10s\n", "pipeline", "k-means cost", "seconds");
+  std::printf("%-28s %12.3e %10.2f\n", "cluster full data",
+              on_full.total_cost, full_seconds);
+  std::printf("%-28s %12.3e %10.2f\n", "coreset + cluster coreset",
+              cost_via_coreset, coreset_seconds + small_seconds);
+
+  // 4. Probe the coreset guarantee with the distortion metric.
+  DistortionOptions probe;
+  probe.k = k;
+  const double distortion = CoresetDistortion(points, {}, coreset, probe, rng);
+  std::printf("\ncoreset distortion: %.3f (1.0 = perfect, <= 1+eps = strong "
+              "coreset behaviour)\n", distortion);
+  return 0;
+}

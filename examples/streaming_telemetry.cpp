@@ -1,0 +1,71 @@
+// Scenario: telemetry events arrive in batches (e.g. from fleet devices)
+// and we must maintain a bounded-memory summary that supports k-means
+// queries at any time — the merge-&-reduce streaming pipeline of
+// Section 5.4. Memory stays O(m log b) for b batches, and the summary is
+// a valid coreset of everything seen so far.
+//
+//   build/examples/streaming_telemetry
+
+#include <cstdio>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/core/samplers.h"
+#include "src/data/generators.h"
+#include "src/eval/distortion.h"
+#include "src/streaming/merge_reduce.h"
+
+int main() {
+  using namespace fastcoreset;
+  Rng rng(99);
+
+  const size_t k = 20;
+  const size_t m = 30 * k;
+  const size_t batch_size = 8192;
+  const size_t batches = 16;
+
+  // The full stream is materialized only to audit the summary afterwards;
+  // the compressor itself sees one batch at a time.
+  Matrix full_stream;
+  StreamingCompressor compressor(
+      MakeCoresetBuilder(SamplerKind::kSensitivity, k, /*z=*/2), m, &rng);
+
+  std::printf("%-8s %12s %12s %14s\n", "batch", "seen", "levels",
+              "summary size");
+  for (size_t b = 0; b < batches; ++b) {
+    // Device behaviour drifts over time: cluster means move per batch.
+    Rng batch_rng(1000 + b);
+    const Matrix batch =
+        GenerateGaussianMixture(batch_size, 8, k, /*gamma=*/1.0, batch_rng,
+                                /*box=*/200.0 + 10.0 * b);
+    compressor.Push(batch);
+    full_stream.AppendRows(batch);
+    if ((b + 1) % 4 == 0) {
+      const Coreset snapshot = compressor.Finalize();
+      std::printf("%-8zu %12zu %12zu %14zu\n", b + 1, full_stream.rows(),
+                  compressor.OccupiedLevels(), snapshot.size());
+    }
+  }
+
+  // Query: cluster the summary; audit against the full stream.
+  const Coreset summary = compressor.Finalize();
+  const Clustering seed =
+      KMeansPlusPlus(summary.points, summary.weights, k, 2, rng);
+  const double cost_on_stream =
+      CostToCenters(full_stream, {}, seed.centers, 2);
+  Rng direct_rng(5);
+  const double cost_direct =
+      KMeansPlusPlus(full_stream, {}, k, 2, direct_rng).total_cost;
+
+  DistortionOptions probe;
+  probe.k = k;
+  const double distortion =
+      CoresetDistortion(full_stream, {}, summary, probe, rng);
+
+  std::printf("\nstream total: %zu points; summary: %zu weighted points\n",
+              full_stream.rows(), summary.size());
+  std::printf("k-means cost via summary : %.4e\n", cost_on_stream);
+  std::printf("k-means cost direct      : %.4e\n", cost_direct);
+  std::printf("summary coreset distortion: %.3f\n", distortion);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// AFK-MC^2 ("Approximate k-means++ in sublinear time", Bachem, Lucic,
+// Hassani, Krause, AAAI'16 — the paper's reference [5]): k-means++
+// seeding where each D^2 draw is replaced by a short Metropolis-Hastings
+// chain over a precomputed proposal distribution
+//     q(p) ∝ 1/2 * dist^z(p, c_1) / cost(P, c_1) + 1/2 * w_p / W.
+// After the one O(nd) pass that builds q, every additional center costs
+// only O(chain * d) — sublinear in n — at the price of an approximate
+// D^2 distribution.
+//
+// The paper cites this method as a fast seeding that *cannot* yield
+// strong coresets by itself; we include it so the seeding-comparison
+// bench covers the full landscape the introduction describes.
+
+#ifndef FASTCORESET_CLUSTERING_AFKMC2_H_
+#define FASTCORESET_CLUSTERING_AFKMC2_H_
+
+#include "src/clustering/types.h"
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Options for AFK-MC^2 seeding.
+struct Afkmc2Options {
+  int z = 2;             ///< 1 = k-median, 2 = k-means.
+  size_t chain_length = 200;  ///< Metropolis-Hastings steps per center.
+};
+
+/// AFK-MC^2 seeding of k centers with nearest-center assignments.
+Clustering Afkmc2(const Matrix& points, const std::vector<double>& weights,
+                  size_t k, const Afkmc2Options& options, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CLUSTERING_AFKMC2_H_

@@ -1,0 +1,71 @@
+#include "src/clustering/cost.h"
+
+#include <cmath>
+
+#include "src/common/parallel.h"
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+
+std::vector<double> UnitWeights(size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+namespace {
+
+double WeightAt(const std::vector<double>& weights, size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+double ApplyPower(double sq_dist, int z) {
+  return z == 2 ? sq_dist : std::sqrt(sq_dist);
+}
+
+}  // namespace
+
+double CostToCenters(const Matrix& points, const std::vector<double>& weights,
+                     const Matrix& centers, int z) {
+  FC_CHECK(z == 1 || z == 2);
+  FC_CHECK(weights.empty() || weights.size() == points.rows());
+  return ParallelReduce(points.rows(), [&](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const NearestCenter nearest = FindNearestCenter(points.Row(i), centers);
+      partial += WeightAt(weights, i) * ApplyPower(nearest.sq_dist, z);
+    }
+    return partial;
+  });
+}
+
+double AssignmentCost(const Matrix& points, const std::vector<double>& weights,
+                      const Matrix& centers,
+                      const std::vector<size_t>& assignment, int z) {
+  FC_CHECK(z == 1 || z == 2);
+  FC_CHECK_EQ(assignment.size(), points.rows());
+  double total = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const double sq =
+        SquaredL2(points.Row(i), centers.Row(assignment[i]));
+    total += WeightAt(weights, i) * ApplyPower(sq, z);
+  }
+  return total;
+}
+
+void RefreshAssignment(const Matrix& points,
+                       const std::vector<double>& weights,
+                       Clustering* clustering) {
+  FC_CHECK(clustering != nullptr);
+  clustering->assignment.resize(points.rows());
+  clustering->point_costs.resize(points.rows());
+  clustering->total_cost = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const NearestCenter nearest =
+        FindNearestCenter(points.Row(i), clustering->centers);
+    clustering->assignment[i] = nearest.index;
+    clustering->point_costs[i] = ApplyPower(nearest.sq_dist, clustering->z);
+    clustering->total_cost +=
+        WeightAt(weights, i) * clustering->point_costs[i];
+  }
+}
+
+}  // namespace fastcoreset

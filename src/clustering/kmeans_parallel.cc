@@ -1,0 +1,92 @@
+#include "src/clustering/kmeans_parallel.h"
+
+#include <cmath>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+
+namespace {
+
+double WeightAt(const std::vector<double>& weights, size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+}  // namespace
+
+Clustering KMeansParallel(const Matrix& points,
+                          const std::vector<double>& weights, size_t k,
+                          const KMeansParallelOptions& options, Rng& rng) {
+  const size_t n = points.rows();
+  FC_CHECK_GT(n, 0u);
+  FC_CHECK_GT(k, 0u);
+  FC_CHECK(options.z == 1 || options.z == 2);
+  FC_CHECK(weights.empty() || weights.size() == n);
+  const size_t l = options.oversampling == 0 ? 2 * k : options.oversampling;
+
+  // Initial candidate: one weight-proportional draw.
+  std::vector<size_t> candidates;
+  candidates.push_back(weights.empty() ? rng.NextIndex(n)
+                                       : rng.SampleDiscrete(weights));
+
+  // min_pow[i] = dist^z to the nearest candidate so far.
+  std::vector<double> min_pow(n);
+  auto update_from = [&](size_t candidate) {
+    const auto row = points.Row(candidate);
+    for (size_t i = 0; i < n; ++i) {
+      const double pow_dist = DistPow(points.Row(i), row, options.z);
+      if (pow_dist < min_pow[i]) min_pow[i] = pow_dist;
+    }
+  };
+  {
+    const auto row = points.Row(candidates[0]);
+    for (size_t i = 0; i < n; ++i) {
+      min_pow[i] = DistPow(points.Row(i), row, options.z);
+    }
+  }
+
+  for (int round = 0; round < options.rounds; ++round) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += WeightAt(weights, i) * min_pow[i];
+    if (total <= 0.0) break;  // All points covered exactly.
+    const double scale = static_cast<double>(l) / total;
+    std::vector<size_t> fresh;
+    for (size_t i = 0; i < n; ++i) {
+      const double probability = WeightAt(weights, i) * min_pow[i] * scale;
+      if (probability >= 1.0 || rng.NextDouble() < probability) {
+        fresh.push_back(i);
+      }
+    }
+    for (size_t candidate : fresh) {
+      candidates.push_back(candidate);
+      update_from(candidate);
+    }
+  }
+
+  // Weight candidates by the mass they attract, then recluster to k.
+  Matrix candidate_points(candidates.size(), points.cols());
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    candidate_points.CopyRowFrom(points, candidates[c], c);
+  }
+  std::vector<size_t> owner;
+  std::vector<double> owner_sq;
+  AssignToNearest(points, candidate_points, &owner, &owner_sq);
+  std::vector<double> candidate_weight(candidates.size(), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    candidate_weight[owner[i]] += WeightAt(weights, i);
+  }
+
+  const Clustering reduced = KMeansPlusPlus(candidate_points,
+                                            candidate_weight, k, options.z,
+                                            rng);
+
+  Clustering result;
+  result.z = options.z;
+  result.centers = reduced.centers;
+  RefreshAssignment(points, weights, &result);
+  return result;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,39 @@
+// k-means|| ("scalable k-means++", Bahmani, Moseley, Vattani, Kumar,
+// Vassilvitskii, VLDB'12): the MapReduce-friendly seeding the paper's
+// database framing (Section 2.3) motivates. Instead of k sequential D^2
+// draws, it runs O(log n) *rounds*; each round samples every point
+// independently with probability min(1, l * w_p cost(p, C) / cost(P, C)),
+// producing ~l new candidates per round in one parallel pass. The
+// oversampled candidate set (~l * rounds points) is weighted by the data
+// it attracts and reclustered to k with classic k-means++.
+//
+// Included as an additional fast-seeding baseline: like Fast-kmeans++ it
+// avoids the k sequential passes, but it still costs O(nd) *per round*
+// against the full candidate set, so its total is O(nd l rounds) — the
+// tradeoff the seeding-comparison bench quantifies.
+
+#ifndef FASTCORESET_CLUSTERING_KMEANS_PARALLEL_H_
+#define FASTCORESET_CLUSTERING_KMEANS_PARALLEL_H_
+
+#include "src/clustering/types.h"
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Options for k-means||.
+struct KMeansParallelOptions {
+  int z = 2;             ///< 1 = k-median, 2 = k-means.
+  size_t oversampling = 0;  ///< l; 0 picks 2k.
+  int rounds = 5;        ///< Sampling rounds (the paper's typical value).
+};
+
+/// k-means|| seeding. Returns a full Clustering with nearest-center
+/// assignments against the final k centers.
+Clustering KMeansParallel(const Matrix& points,
+                          const std::vector<double>& weights, size_t k,
+                          const KMeansParallelOptions& options, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CLUSTERING_KMEANS_PARALLEL_H_

@@ -1,0 +1,83 @@
+#include "src/clustering/kmeans_plus_plus.h"
+
+#include <cmath>
+
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+
+namespace {
+
+double WeightAt(const std::vector<double>& weights, size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+}  // namespace
+
+Clustering KMeansPlusPlus(const Matrix& points,
+                          const std::vector<double>& weights, size_t k,
+                          int z, Rng& rng) {
+  const size_t n = points.rows();
+  FC_CHECK_GT(n, 0u);
+  FC_CHECK_GT(k, 0u);
+  FC_CHECK(z == 1 || z == 2);
+  FC_CHECK(weights.empty() || weights.size() == n);
+  if (k > n) k = n;
+
+  Clustering result;
+  result.z = z;
+  result.centers = Matrix(k, points.cols());
+  result.assignment.assign(n, 0);
+
+  // min_sq[i] = squared distance to the closest chosen center so far.
+  std::vector<double> min_sq(n, 0.0);
+  std::vector<double> masses(n, 0.0);
+
+  // First center: proportional to the weights alone.
+  size_t first;
+  if (weights.empty()) {
+    first = rng.NextIndex(n);
+  } else {
+    first = rng.SampleDiscrete(weights);
+  }
+  result.centers.CopyRowFrom(points, first, 0);
+  for (size_t i = 0; i < n; ++i) {
+    min_sq[i] = SquaredL2(points.Row(i), points.Row(first));
+  }
+
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = z == 2 ? min_sq[i] : std::sqrt(min_sq[i]);
+      masses[i] = WeightAt(weights, i) * d;
+      total += masses[i];
+    }
+    size_t next;
+    if (total <= 0.0) {
+      // All mass on existing centers (duplicated points): fall back to a
+      // weight-proportional draw so we still return k centers.
+      next = weights.empty() ? rng.NextIndex(n) : rng.SampleDiscrete(weights);
+    } else {
+      next = rng.SampleDiscrete(masses);
+    }
+    result.centers.CopyRowFrom(points, next, c);
+    const auto center = result.centers.Row(c);
+    for (size_t i = 0; i < n; ++i) {
+      const double sq = SquaredL2(points.Row(i), center);
+      if (sq < min_sq[i]) {
+        min_sq[i] = sq;
+        result.assignment[i] = c;
+      }
+    }
+  }
+
+  result.point_costs.resize(n);
+  result.total_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.point_costs[i] = z == 2 ? min_sq[i] : std::sqrt(min_sq[i]);
+    result.total_cost += WeightAt(weights, i) * result.point_costs[i];
+  }
+  return result;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,33 @@
+// Weighted k-median: Weiszfeld's algorithm for the 1-median subproblem and
+// a Lloyd-style alternation for k centers. Used by Algorithm 1's step 4
+// (per-cluster 1-median refinement, z = 1) and by the k-median experiments
+// (Figure 4).
+
+#ifndef FASTCORESET_CLUSTERING_KMEDIAN_H_
+#define FASTCORESET_CLUSTERING_KMEDIAN_H_
+
+#include <vector>
+
+#include "src/clustering/types.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Approximate geometric median of the selected rows via Weiszfeld
+/// iterations (started from the weighted mean). `weights` may be empty.
+/// `subset` lists the participating row indices; it must be non-empty.
+std::vector<double> GeometricMedian(const Matrix& points,
+                                    const std::vector<double>& weights,
+                                    const std::vector<size_t>& subset,
+                                    int max_iters = 30, double tol = 1e-7);
+
+/// Lloyd-style k-median refinement: alternate nearest-center assignment
+/// with per-cluster Weiszfeld medians. Empty clusters are reseeded at the
+/// most expensive point.
+Clustering LloydKMedian(const Matrix& points,
+                        const std::vector<double>& weights,
+                        const Matrix& initial_centers, int max_iters = 15);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CLUSTERING_KMEDIAN_H_

@@ -1,0 +1,34 @@
+// Weighted Lloyd's algorithm for k-means (alternating assignment /
+// centroid steps), used for downstream clustering on coresets (Table 8)
+// and as a general-purpose refinement.
+
+#ifndef FASTCORESET_CLUSTERING_LLOYD_H_
+#define FASTCORESET_CLUSTERING_LLOYD_H_
+
+#include <vector>
+
+#include "src/clustering/types.h"
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Options for Lloyd iterations.
+struct LloydOptions {
+  int max_iters = 25;
+  /// Stop when the relative cost improvement drops below this.
+  double relative_tolerance = 1e-4;
+};
+
+/// Runs Lloyd's algorithm from `initial_centers` on a weighted point set.
+/// Empty clusters are reseeded at the currently most expensive point.
+/// `weights` may be empty (unit weights). Returns the refined clustering
+/// (z is fixed to 2; use LloydKMedian for z = 1).
+Clustering LloydKMeans(const Matrix& points,
+                       const std::vector<double>& weights,
+                       const Matrix& initial_centers,
+                       const LloydOptions& options = LloydOptions());
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CLUSTERING_LLOYD_H_

@@ -1,0 +1,37 @@
+// Quadtree-based approximate nearest-center assignment.
+//
+// Assigning n points to k given centers exactly costs O(nkd) — the very
+// bottleneck the paper removes from seeding. This utility removes it from
+// *assignment against a fixed center set* too: points and centers are
+// embedded in one randomly-shifted quadtree; covering the centers'
+// root-to-leaf paths (the same lazy propagation Fast-kmeans++ uses)
+// assigns every point to the center sharing its deepest covered cell, in
+// O((n + k) d log Δ) total. The assignment is an HST-metric nearest
+// neighbor, i.e. an O(d log Δ)-approximate Euclidean one in expectation —
+// exactly the tolerance sensitivity sampling absorbs.
+//
+// This enables the iterative coreset construction of Section 8.4 /
+// Braverman et al.: re-deriving sensitivities against an improved
+// solution without ever paying O(nkd).
+
+#ifndef FASTCORESET_CLUSTERING_TREE_ASSIGN_H_
+#define FASTCORESET_CLUSTERING_TREE_ASSIGN_H_
+
+#include "src/clustering/types.h"
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Assigns every point to one of `centers` via a shared quadtree.
+/// Returns a Clustering whose centers are `centers`, with tree-derived
+/// assignments and Euclidean point costs (exponent z). `weights` may be
+/// empty and only affect total_cost.
+Clustering TreeAssign(const Matrix& points,
+                      const std::vector<double>& weights,
+                      const Matrix& centers, int z, Rng& rng,
+                      int max_depth = 60);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CLUSTERING_TREE_ASSIGN_H_

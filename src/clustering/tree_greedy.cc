@@ -1,0 +1,136 @@
+#include "src/clustering/tree_greedy.h"
+
+#include <cmath>
+#include <queue>
+
+#include "src/clustering/kmedian.h"
+#include "src/geometry/distance.h"
+#include "src/geometry/quadtree.h"
+
+namespace fastcoreset {
+
+namespace {
+
+double WeightAt(const std::vector<double>& weights, size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+}  // namespace
+
+Clustering TreeGreedySeeding(const Matrix& points,
+                             const std::vector<double>& weights, size_t k,
+                             const TreeGreedyOptions& options, Rng& rng) {
+  const size_t n = points.rows();
+  FC_CHECK_GT(n, 0u);
+  FC_CHECK_GT(k, 0u);
+  FC_CHECK(options.z == 1 || options.z == 2);
+  FC_CHECK(weights.empty() || weights.size() == n);
+
+  Quadtree tree(points, rng, options.max_depth);
+
+  // Subtree weights, bottom-up. Children are always created after their
+  // parent, so reverse id order is a valid topological order.
+  std::vector<double> subtree_weight(tree.num_nodes(), 0.0);
+  for (size_t id = tree.num_nodes(); id-- > 0;) {
+    const auto& node = tree.node(static_cast<int32_t>(id));
+    for (uint32_t p : node.points) {
+      subtree_weight[id] += WeightAt(weights, p);
+    }
+    for (int32_t child : node.children) {
+      subtree_weight[id] += subtree_weight[child];
+    }
+  }
+
+  // Greedy splitting: priority = weight * (cell tree-diameter)^z, an upper
+  // bound on the cost of serving the whole group from one center.
+  auto bound = [&](int32_t v) {
+    const auto& node = tree.node(v);
+    if (node.is_leaf && node.children.empty()) {
+      return 0.0;  // A leaf cannot be improved by splitting.
+    }
+    const double diameter = tree.TreeDistanceAtLevel(node.level);
+    return subtree_weight[v] *
+           (options.z == 2 ? diameter * diameter : diameter);
+  };
+
+  using Entry = std::pair<double, int32_t>;
+  std::priority_queue<Entry> frontier;
+  frontier.emplace(bound(tree.root()), tree.root());
+  std::vector<int32_t> groups;
+  while (groups.size() + frontier.size() < k && !frontier.empty()) {
+    const auto [priority, v] = frontier.top();
+    frontier.pop();
+    if (priority <= 0.0) {
+      groups.push_back(v);  // Unsplittable; keep as a final group.
+      continue;
+    }
+    // Replace v by its occupied children (plus v's own leaf points, which
+    // for internal nodes are empty by construction).
+    for (int32_t child : tree.node(v).children) {
+      frontier.emplace(bound(child), child);
+    }
+  }
+  while (!frontier.empty()) {
+    groups.push_back(frontier.top().second);
+    frontier.pop();
+  }
+
+  // Materialize clusters: DFS each group subtree to collect its points.
+  Clustering result;
+  result.z = options.z;
+  result.assignment.assign(n, 0);
+  std::vector<std::vector<size_t>> members(groups.size());
+  std::vector<int32_t> stack;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    stack.clear();
+    stack.push_back(groups[g]);
+    while (!stack.empty()) {
+      const int32_t v = stack.back();
+      stack.pop_back();
+      const auto& node = tree.node(v);
+      for (uint32_t p : node.points) {
+        members[g].push_back(p);
+        result.assignment[p] = g;
+      }
+      for (int32_t child : node.children) stack.push_back(child);
+    }
+  }
+
+  // Drop empty groups (possible when k exceeds occupied leaves).
+  std::vector<std::vector<size_t>> occupied;
+  for (auto& group : members) {
+    if (!group.empty()) occupied.push_back(std::move(group));
+  }
+  result.centers = Matrix(occupied.size(), points.cols());
+  for (size_t g = 0; g < occupied.size(); ++g) {
+    auto center = result.centers.Row(g);
+    if (options.z == 2) {
+      double total = 0.0;
+      for (size_t idx : occupied[g]) {
+        const double w = WeightAt(weights, idx);
+        total += w;
+        const auto row = points.Row(idx);
+        for (size_t j = 0; j < points.cols(); ++j) center[j] += w * row[j];
+      }
+      FC_CHECK_GT(total, 0.0);
+      for (size_t j = 0; j < points.cols(); ++j) center[j] /= total;
+    } else {
+      const std::vector<double> median =
+          GeometricMedian(points, weights, occupied[g]);
+      for (size_t j = 0; j < points.cols(); ++j) center[j] = median[j];
+    }
+    for (size_t idx : occupied[g]) result.assignment[idx] = g;
+  }
+
+  result.point_costs.resize(n);
+  result.total_cost = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.point_costs[i] =
+        DistPow(points.Row(i), result.centers.Row(result.assignment[i]),
+                options.z);
+    result.total_cost += WeightAt(weights, i) * result.point_costs[i];
+  }
+  return result;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,44 @@
+// Tree-greedy seeding: the Section 8.4 extension of the paper. Algorithm 1
+// only needs *some* O(polylog)-approximate solution with assignments, and
+// the paper sketches obtaining one by solving k-median directly on the
+// quadtree's HST metric.
+//
+// We implement the natural top-down algorithm on the HST: every tree node
+// v is a candidate group whose serving cost is bounded by
+// subtree_weight(v) * TreeDistanceAtLevel(level(v))^z (all its points can
+// be served within the cell diameter). Starting from the root, repeatedly
+// split the group with the largest cost bound into its occupied children
+// until k groups exist. Each group then becomes one cluster: its center is
+// the group's weighted mean (z = 2) or geometric median (z = 1), and its
+// points are assigned to it. Runs in O(nd + n log Δ + k log k), produces
+// assignments, and the HST distortion bound (Lemma 2.2) gives the polylog
+// approximation Fact 3.1 needs.
+
+#ifndef FASTCORESET_CLUSTERING_TREE_GREEDY_H_
+#define FASTCORESET_CLUSTERING_TREE_GREEDY_H_
+
+#include "src/clustering/types.h"
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Options for tree-greedy seeding.
+struct TreeGreedyOptions {
+  int z = 2;           ///< 1 = k-median, 2 = k-means.
+  int max_depth = 60;  ///< Quadtree depth cap.
+};
+
+/// Top-down greedy k-clustering on a fresh random-shift quadtree.
+/// `weights` may be empty. Bicriteria in the cluster count: normally
+/// returns about k clusters, but the final split may overshoot by the
+/// fan-out of one tree node (footnote 3 of the paper permits (α, β)
+/// bicriteria solutions as Algorithm 1 seeds); fewer than k when the tree
+/// has fewer occupied leaves.
+Clustering TreeGreedySeeding(const Matrix& points,
+                             const std::vector<double>& weights, size_t k,
+                             const TreeGreedyOptions& options, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CLUSTERING_TREE_GREEDY_H_

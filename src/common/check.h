@@ -1,0 +1,59 @@
+// Lightweight invariant-checking macros (exception-free error handling).
+//
+// FC_CHECK* terminate the process with a diagnostic on violation; they are
+// always on (also in Release builds) because the library's correctness
+// contracts — e.g. "weights are non-negative", "k <= n" — are cheap to test
+// relative to the O(nd) work they guard. FC_DCHECK compiles out in Release.
+
+#ifndef FASTCORESET_COMMON_CHECK_H_
+#define FASTCORESET_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fastcoreset {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "FC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace fastcoreset
+
+#define FC_CHECK(cond)                                                    \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::fastcoreset::internal_check::CheckFailed(__FILE__, __LINE__,      \
+                                                 #cond, "");              \
+    }                                                                     \
+  } while (0)
+
+#define FC_CHECK_MSG(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::fastcoreset::internal_check::CheckFailed(__FILE__, __LINE__,      \
+                                                 #cond, msg);             \
+    }                                                                     \
+  } while (0)
+
+#define FC_CHECK_GT(a, b) FC_CHECK((a) > (b))
+#define FC_CHECK_GE(a, b) FC_CHECK((a) >= (b))
+#define FC_CHECK_LT(a, b) FC_CHECK((a) < (b))
+#define FC_CHECK_LE(a, b) FC_CHECK((a) <= (b))
+#define FC_CHECK_EQ(a, b) FC_CHECK((a) == (b))
+#define FC_CHECK_NE(a, b) FC_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define FC_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define FC_DCHECK(cond) FC_CHECK(cond)
+#endif
+
+#endif  // FASTCORESET_COMMON_CHECK_H_

@@ -1,0 +1,23 @@
+#include "src/common/env.h"
+
+#include <cstdlib>
+
+namespace fastcoreset {
+
+double EnvDouble(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+int64_t EnvInt(const std::string& name, int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return end != value ? static_cast<int64_t>(parsed) : fallback;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,22 @@
+// Environment-variable helpers used by benches to scale workloads
+// (e.g. FC_SCALE=4 multiplies dataset sizes without recompiling).
+
+#ifndef FASTCORESET_COMMON_ENV_H_
+#define FASTCORESET_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fastcoreset {
+
+/// Reads an environment variable as double; returns `fallback` if unset
+/// or unparsable.
+double EnvDouble(const std::string& name, double fallback);
+
+/// Reads an environment variable as int64; returns `fallback` if unset
+/// or unparsable.
+int64_t EnvInt(const std::string& name, int64_t fallback);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_COMMON_ENV_H_

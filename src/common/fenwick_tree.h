@@ -1,0 +1,87 @@
+// Fenwick (binary indexed) tree over non-negative doubles, used for
+// O(log n) weighted sampling with O(log n) point updates. This is the
+// sampling structure backing Fast-kmeans++'s tree-metric D^z distribution,
+// where point masses change as centers are inserted.
+
+#ifndef FASTCORESET_COMMON_FENWICK_TREE_H_
+#define FASTCORESET_COMMON_FENWICK_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace fastcoreset {
+
+/// Prefix-sum tree supporting point updates and sampling proportional to
+/// the stored (non-negative) values.
+class FenwickTree {
+ public:
+  /// Creates a tree over `n` slots, all initialized to zero.
+  explicit FenwickTree(size_t n) : values_(n, 0.0), tree_(n + 1, 0.0) {}
+
+  size_t size() const { return values_.size(); }
+
+  /// Current value of slot `i`.
+  double Get(size_t i) const {
+    FC_DCHECK(i < values_.size());
+    return values_[i];
+  }
+
+  /// Sets slot `i` to `value` (>= 0).
+  void Set(size_t i, double value) {
+    FC_DCHECK(i < values_.size());
+    FC_DCHECK(value >= 0.0);
+    const double delta = value - values_[i];
+    values_[i] = value;
+    for (size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of slots [0, i).
+  double PrefixSum(size_t i) const {
+    FC_DCHECK(i <= values_.size());
+    double sum = 0.0;
+    for (size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+    return sum;
+  }
+
+  /// Total mass.
+  double Total() const { return PrefixSum(values_.size()); }
+
+  /// Smallest index i such that the prefix sum through slot i exceeds
+  /// `target`. Requires 0 <= target < Total(). Skips zero-weight slots.
+  size_t UpperBound(double target) const {
+    size_t pos = 0;
+    size_t mask = 1;
+    while ((mask << 1) <= values_.size()) mask <<= 1;
+    for (; mask > 0; mask >>= 1) {
+      const size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= target) {
+        target -= tree_[next];
+        pos = next;
+      }
+    }
+    // pos is the count of slots whose cumulative mass is <= target, i.e.
+    // the sampled index. Guard against floating-point drift past the end.
+    if (pos >= values_.size()) pos = values_.size() - 1;
+    return pos;
+  }
+
+  /// Samples an index proportional to the stored values. Total() must be > 0.
+  size_t Sample(Rng& rng) const {
+    const double total = Total();
+    FC_CHECK_MSG(total > 0.0, "cannot sample from an all-zero FenwickTree");
+    return UpperBound(rng.NextDouble() * total);
+  }
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> tree_;
+};
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_COMMON_FENWICK_TREE_H_

@@ -1,0 +1,78 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fastcoreset {
+
+namespace {
+
+std::atomic<size_t> g_num_threads{1};
+
+// Below this many items the thread spawn overhead dominates.
+constexpr size_t kSerialCutoff = 4096;
+
+struct ChunkPlan {
+  size_t chunks = 1;
+  size_t chunk_size = 0;
+};
+
+ChunkPlan PlanChunks(size_t n) {
+  const size_t workers = GetNumThreads();
+  if (workers <= 1 || n < kSerialCutoff) return {1, n};
+  const size_t chunks = std::min(workers, n);
+  return {chunks, (n + chunks - 1) / chunks};
+}
+
+}  // namespace
+
+void SetNumThreads(size_t count) {
+  if (count == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    count = hardware == 0 ? 1 : hardware;
+  }
+  g_num_threads.store(count);
+}
+
+size_t GetNumThreads() { return std::max<size_t>(1, g_num_threads.load()); }
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  const ChunkPlan plan = PlanChunks(n);
+  if (plan.chunks == 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(plan.chunks);
+  for (size_t c = 0; c < plan.chunks; ++c) {
+    const size_t begin = c * plan.chunk_size;
+    const size_t end = std::min(n, begin + plan.chunk_size);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+double ParallelReduce(size_t n,
+                      const std::function<double(size_t, size_t)>& body) {
+  if (n == 0) return 0.0;
+  const ChunkPlan plan = PlanChunks(n);
+  if (plan.chunks == 1) return body(0, n);
+  std::vector<double> partials(plan.chunks, 0.0);
+  std::vector<std::thread> workers;
+  workers.reserve(plan.chunks);
+  for (size_t c = 0; c < plan.chunks; ++c) {
+    const size_t begin = c * plan.chunk_size;
+    const size_t end = std::min(n, begin + plan.chunk_size);
+    if (begin >= end) break;
+    workers.emplace_back(
+        [&body, &partials, c, begin, end] { partials[c] = body(begin, end); });
+  }
+  for (auto& worker : workers) worker.join();
+  double total = 0.0;
+  for (double partial : partials) total += partial;  // Fixed chunk order.
+  return total;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,43 @@
+// Minimal data-parallel substrate. The heavy kernels (nearest-center
+// assignment, cost evaluation) are embarrassingly parallel over points;
+// ParallelFor splits the index range into deterministic contiguous chunks
+// and ParallelReduce combines per-chunk partial results in chunk order, so
+// results are bit-identical for a fixed thread count.
+//
+// Parallelism is opt-in: the global thread count defaults to 1 (serial),
+// keeping single-threaded reproducibility unless the caller (or the
+// FC_THREADS environment variable, honoured by the benches) raises it.
+
+#ifndef FASTCORESET_COMMON_PARALLEL_H_
+#define FASTCORESET_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fastcoreset {
+
+/// Sets the global worker count used by ParallelFor/ParallelReduce.
+/// count = 0 picks the hardware concurrency.
+void SetNumThreads(size_t count);
+
+/// Current global worker count (>= 1).
+size_t GetNumThreads();
+
+/// Runs body(begin, end) over a partition of [0, n) across the global
+/// worker count. Chunks are contiguous and deterministic. Serial when the
+/// worker count is 1 or the range is small.
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+/// Parallel sum reduction: body(begin, end) returns the partial value for
+/// its chunk; partials are added in chunk order (deterministic for a
+/// fixed thread count).
+double ParallelReduce(size_t n,
+                      const std::function<double(size_t, size_t)>& body);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_COMMON_PARALLEL_H_

@@ -1,0 +1,56 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace fastcoreset {
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform; u1 is bounded away from zero so log() is finite.
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
+  FC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FC_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FC_CHECK_MSG(total > 0.0, "all sampling weights are zero");
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  // Floating-point slack: fall back to the last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  FC_CHECK_LE(count, n);
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t j = i + NextIndex(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,20 @@
+#include "src/common/stats.h"
+
+namespace fastcoreset {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double mean = Mean(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - mean) * (x - mean);
+  return sum_sq / static_cast<double>(xs.size());
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,49 @@
+// Small statistics helpers for repeated-run experiment reporting.
+
+#ifndef FASTCORESET_COMMON_STATS_H_
+#define FASTCORESET_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fastcoreset {
+
+/// Welford-style accumulator for mean/variance over streamed samples.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+  }
+
+  size_t Count() const { return count_; }
+  double Mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (paper tables report mean ± variance).
+  double Variance() const {
+    return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sample vector (0 for empty input).
+double Mean(const std::vector<double>& xs);
+
+/// Population variance of a sample vector (0 for empty input).
+double Variance(const std::vector<double>& xs);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_COMMON_STATS_H_

@@ -1,0 +1,67 @@
+#include "src/common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fastcoreset {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < cols) out << "  ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w;
+    out << std::string(total + 2 * (cols - 1), '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::Num(double value, int digits) {
+  if (std::isnan(value)) return "nan";
+  char buf[64];
+  const double magnitude = std::fabs(value);
+  if (magnitude != 0.0 && (magnitude >= 1e5 || magnitude < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits + 1, value);
+  }
+  return buf;
+}
+
+std::string TablePrinter::MeanVar(double mean, double variance, int digits) {
+  return Num(mean, digits) + " ± " + Num(variance, digits);
+}
+
+}  // namespace fastcoreset

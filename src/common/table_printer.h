@@ -1,0 +1,40 @@
+// Fixed-width ASCII table output used by the benchmark harness to print
+// paper-style tables (e.g. "Table 4: distortion means and variances").
+
+#ifndef FASTCORESET_COMMON_TABLE_PRINTER_H_
+#define FASTCORESET_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace fastcoreset {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; rows may differ in length (short rows are padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Renders and writes the table to stdout.
+  void Print() const;
+
+  /// Formats a double with `digits` significant digits, compactly.
+  static std::string Num(double value, int digits = 3);
+
+  /// Formats "mean ± variance" as the paper's tables do.
+  static std::string MeanVar(double mean, double variance, int digits = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_COMMON_TABLE_PRINTER_H_

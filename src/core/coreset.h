@@ -1,0 +1,47 @@
+// The Coreset type: a weighted subset (or weighted summary) of a dataset.
+
+#ifndef FASTCORESET_CORE_CORESET_H_
+#define FASTCORESET_CORE_CORESET_H_
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// A weighted compression Ω of a dataset P. For sampling-based methods the
+/// rows of `points` are rows of P and `indices` records which; methods that
+/// synthesize representatives (BICO CF centroids, Algorithm 1's optional
+/// center-correction points) use kSyntheticIndex instead.
+struct Coreset {
+  /// Sentinel for rows not present in the source dataset.
+  static constexpr size_t kSyntheticIndex = std::numeric_limits<size_t>::max();
+
+  std::vector<size_t> indices;  ///< Source row per coreset row (or sentinel).
+  Matrix points;                ///< m x d coreset points.
+  std::vector<double> weights;  ///< m non-negative weights.
+
+  size_t size() const { return points.rows(); }
+
+  /// Sum of the weights (should concentrate around the source total).
+  double TotalWeight() const {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    return total;
+  }
+};
+
+/// Black-box compression procedure used for streaming composition: maps a
+/// (weighted) point set and a target size to a coreset. All samplers in
+/// src/core can be wrapped into this signature.
+using CoresetBuilder = std::function<Coreset(
+    const Matrix& points, const std::vector<double>& weights, size_t m,
+    Rng& rng)>;
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CORE_CORESET_H_

@@ -1,0 +1,134 @@
+#include "src/core/fast_coreset.h"
+
+#include <vector>
+
+#include "src/clustering/kmedian.h"
+#include "src/clustering/tree_greedy.h"
+#include "src/core/importance.h"
+#include "src/geometry/jl_projection.h"
+#include "src/spread/crude_approx.h"
+#include "src/spread/reduce_spread.h"
+
+namespace fastcoreset {
+
+namespace {
+
+double WeightAt(const std::vector<double>& weights, size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+/// Step 3: replace every cluster's seeded center by its 1-mean (z = 2) or
+/// 1-median (z = 1) over the cluster's points in the given space.
+Matrix RefineCenters(const Matrix& points, const std::vector<double>& weights,
+                     const std::vector<size_t>& assignment, size_t k, int z) {
+  std::vector<std::vector<size_t>> members(k);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    members[assignment[i]].push_back(i);
+  }
+  Matrix centers(k, points.cols());
+  for (size_t c = 0; c < k; ++c) {
+    if (members[c].empty()) continue;  // Row of zeros; cluster is unused.
+    if (z == 2) {
+      double total = 0.0;
+      auto center = centers.Row(c);
+      for (size_t idx : members[c]) {
+        const double w = WeightAt(weights, idx);
+        total += w;
+        const auto row = points.Row(idx);
+        for (size_t j = 0; j < points.cols(); ++j) center[j] += w * row[j];
+      }
+      if (total > 0.0) {
+        for (size_t j = 0; j < points.cols(); ++j) center[j] /= total;
+      }
+    } else {
+      const std::vector<double> median =
+          GeometricMedian(points, weights, members[c]);
+      auto center = centers.Row(c);
+      for (size_t j = 0; j < points.cols(); ++j) center[j] = median[j];
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+Coreset FastCoreset(const Matrix& points, const std::vector<double>& weights,
+                    const FastCoresetOptions& options, Rng& rng) {
+  FC_CHECK_GT(points.rows(), 0u);
+  FC_CHECK_GT(options.k, 0u);
+  FC_CHECK(options.z == 1 || options.z == 2);
+  const size_t m = options.m == 0 ? 40 * options.k : options.m;
+
+  // Step 1: dimension reduction. The seeding runs on the proxy; all costs
+  // and sampled points come from the original space.
+  const Matrix* seed_space = &points;
+  Matrix projected;
+  if (options.use_jl) {
+    const size_t target =
+        JlTargetDim(options.k, options.jl_eps, points.cols());
+    if (target < points.cols()) {
+      projected = JlProject(points, target, rng);
+      seed_space = &projected;
+    }
+  }
+
+  // Step 2b (optional): spread reduction on the seeding proxy. Rows of the
+  // reduced set correspond 1:1 to input rows, so assignments carry over.
+  Matrix reduced;
+  if (options.use_spread_reduction) {
+    const CrudeApproxResult crude = CrudeApprox(*seed_space, options.k, rng);
+    if (crude.upper_bound > 0.0) {
+      SpreadReduction reduction =
+          ReduceSpread(*seed_space, crude.upper_bound, 64.0, rng);
+      reduced = std::move(reduction.points);
+      seed_space = &reduced;
+    }
+  }
+
+  // Step 2: seed an approximate solution with assignments.
+  Clustering solution;
+  if (options.seeder == FastCoresetSeeder::kTreeGreedy) {
+    TreeGreedyOptions greedy;
+    greedy.z = options.z;
+    greedy.max_depth = options.seeding.max_depth;
+    solution = TreeGreedySeeding(*seed_space, weights, options.k, greedy, rng);
+  } else {
+    FastKMeansPlusPlusOptions seeding = options.seeding;
+    seeding.z = options.z;
+    solution = FastKMeansPlusPlus(*seed_space, weights, options.k, seeding,
+                                  rng);
+  }
+
+  // Step 3: refine centers and evaluate sensitivities in the original
+  // space (the assignment is reused; only the cost geometry changes).
+  const Matrix centers =
+      RefineCenters(points, weights, solution.assignment,
+                    solution.centers.rows(), options.z);
+  const ImportanceScores scores = ComputeSensitivities(
+      points, weights, solution.assignment, centers, options.z);
+
+  // Step 4: importance-sample and weight.
+  Coreset coreset = SampleByImportance(points, weights, scores, m, rng);
+  if (options.center_correction) {
+    ApplyCenterCorrection(points, weights, solution.assignment, centers,
+                          options.correction_eps, &coreset);
+  }
+  return coreset;
+}
+
+Coreset CoresetFromAssignment(const Matrix& points,
+                              const std::vector<double>& weights,
+                              const std::vector<size_t>& assignment,
+                              size_t num_clusters, size_t m, int z,
+                              Rng& rng) {
+  FC_CHECK_EQ(assignment.size(), points.rows());
+  FC_CHECK_GT(num_clusters, 0u);
+  FC_CHECK_GT(m, 0u);
+  const Matrix centers =
+      RefineCenters(points, weights, assignment, num_clusters, z);
+  const ImportanceScores scores =
+      ComputeSensitivities(points, weights, assignment, centers, z);
+  return SampleByImportance(points, weights, scores, m, rng);
+}
+
+}  // namespace fastcoreset

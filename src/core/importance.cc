@@ -1,0 +1,134 @@
+#include "src/core/importance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+
+namespace {
+
+double WeightAt(const std::vector<double>& weights, size_t i) {
+  return weights.empty() ? 1.0 : weights[i];
+}
+
+}  // namespace
+
+ImportanceScores ComputeSensitivities(const Matrix& points,
+                                      const std::vector<double>& weights,
+                                      const std::vector<size_t>& assignment,
+                                      const Matrix& centers, int z) {
+  const size_t n = points.rows();
+  const size_t k = centers.rows();
+  FC_CHECK_EQ(assignment.size(), n);
+  FC_CHECK(z == 1 || z == 2);
+  FC_CHECK(weights.empty() || weights.size() == n);
+
+  std::vector<double> point_cost(n);
+  std::vector<double> cluster_cost(k, 0.0);
+  std::vector<double> cluster_weight(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = assignment[i];
+    FC_DCHECK(c < k);
+    point_cost[i] = DistPow(points.Row(i), centers.Row(c), z);
+    const double w = WeightAt(weights, i);
+    cluster_cost[c] += w * point_cost[i];
+    cluster_weight[c] += w;
+  }
+
+  ImportanceScores scores;
+  scores.sigma.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = assignment[i];
+    const double w = WeightAt(weights, i);
+    double sigma = 0.0;
+    if (cluster_cost[c] > 0.0) sigma += w * point_cost[i] / cluster_cost[c];
+    // cluster_weight > 0 because point i itself belongs to the cluster
+    // (w may be 0 for zero-weight points; then sigma is 0, correctly).
+    if (cluster_weight[c] > 0.0) sigma += w / cluster_weight[c];
+    scores.sigma[i] = sigma;
+    scores.total += sigma;
+  }
+  return scores;
+}
+
+Coreset SampleByImportance(const Matrix& points,
+                           const std::vector<double>& weights,
+                           const ImportanceScores& scores, size_t m,
+                           Rng& rng) {
+  const size_t n = points.rows();
+  FC_CHECK_EQ(scores.sigma.size(), n);
+  FC_CHECK_GT(m, 0u);
+  FC_CHECK_MSG(scores.total > 0.0, "importance scores sum to zero");
+
+  // Draw m sorted uniforms and sweep the cumulative distribution once:
+  // O(n + m log m), independent of the number of distinct hits.
+  std::vector<double> targets(m);
+  for (double& t : targets) t = rng.NextDouble() * scores.total;
+  std::sort(targets.begin(), targets.end());
+
+  // hits[i] = number of draws landing on point i (only nonzero entries).
+  std::map<size_t, size_t> hits;
+  double cumulative = 0.0;
+  size_t point = 0;
+  for (double target : targets) {
+    while (point + 1 < n && cumulative + scores.sigma[point] < target) {
+      cumulative += scores.sigma[point];
+      ++point;
+    }
+    ++hits[point];
+  }
+
+  Coreset coreset;
+  coreset.indices.reserve(hits.size());
+  coreset.weights.reserve(hits.size());
+  coreset.points = Matrix(hits.size(), points.cols());
+  size_t row = 0;
+  const double md = static_cast<double>(m);
+  for (const auto& [idx, count] : hits) {
+    coreset.indices.push_back(idx);
+    coreset.points.CopyRowFrom(points, idx, row++);
+    const double w = WeightAt(weights, idx);
+    coreset.weights.push_back(static_cast<double>(count) * w * scores.total /
+                              (md * scores.sigma[idx]));
+  }
+  return coreset;
+}
+
+void ApplyCenterCorrection(const Matrix& points,
+                           const std::vector<double>& weights,
+                           const std::vector<size_t>& assignment,
+                           const Matrix& centers, double eps,
+                           Coreset* coreset) {
+  FC_CHECK(coreset != nullptr);
+  const size_t k = centers.rows();
+
+  std::vector<double> cluster_weight(k, 0.0);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    cluster_weight[assignment[i]] += WeightAt(weights, i);
+  }
+  std::vector<double> sampled_weight(k, 0.0);
+  for (size_t r = 0; r < coreset->size(); ++r) {
+    const size_t src = coreset->indices[r];
+    if (src == Coreset::kSyntheticIndex) continue;
+    sampled_weight[assignment[src]] += coreset->weights[r];
+  }
+
+  Matrix appended(0, points.cols());
+  for (size_t c = 0; c < k; ++c) {
+    if (cluster_weight[c] <= 0.0) continue;
+    const double correction =
+        (1.0 + eps) * cluster_weight[c] - sampled_weight[c];
+    if (correction <= 0.0) continue;
+    Matrix one(1, points.cols());
+    one.CopyRowFrom(centers, c, 0);
+    appended.AppendRows(one);
+    coreset->indices.push_back(Coreset::kSyntheticIndex);
+    coreset->weights.push_back(correction);
+  }
+  coreset->points.AppendRows(appended);
+}
+
+}  // namespace fastcoreset

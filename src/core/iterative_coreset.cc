@@ -1,0 +1,48 @@
+#include "src/core/iterative_coreset.h"
+
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/kmedian.h"
+#include "src/clustering/lloyd.h"
+#include "src/clustering/tree_assign.h"
+
+namespace fastcoreset {
+
+Coreset IterativeFastCoreset(const Matrix& points,
+                             const std::vector<double>& weights,
+                             const IterativeCoresetOptions& options,
+                             Rng& rng) {
+  FC_CHECK_GE(options.rounds, 1);
+  const size_t k = options.base.k;
+  const int z = options.base.z;
+  const size_t m = options.base.m == 0 ? 40 * k : options.base.m;
+
+  Coreset coreset = FastCoreset(points, weights, options.base, rng);
+  for (int round = 1; round < options.rounds; ++round) {
+    // Improve the candidate solution on the compressed data only.
+    const Clustering seed =
+        KMeansPlusPlus(coreset.points, coreset.weights, k, z, rng);
+    Matrix improved_centers;
+    if (z == 2) {
+      LloydOptions lloyd;
+      lloyd.max_iters = options.refine_iters;
+      improved_centers =
+          LloydKMeans(coreset.points, coreset.weights, seed.centers, lloyd)
+              .centers;
+    } else {
+      improved_centers = LloydKMedian(coreset.points, coreset.weights,
+                                      seed.centers, options.refine_iters)
+                             .centers;
+    }
+
+    // Re-assign the full dataset in Õ(nd) via the quadtree, then re-run
+    // Algorithm 1's sampling tail against the improved sensitivities.
+    const Clustering assignment = TreeAssign(
+        points, weights, improved_centers, z, rng,
+        options.base.seeding.max_depth);
+    coreset = CoresetFromAssignment(points, weights, assignment.assignment,
+                                    improved_centers.rows(), m, z, rng);
+  }
+  return coreset;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,40 @@
+// Iterative Fast-Coreset (Section 8.4 / Braverman, Jiang, Krauthgamer,
+// Wu SODA'21): Algorithm 1's coreset size depends linearly on the quality
+// of its seed solution. Iterating shrinks that dependency:
+//
+//   round 0: Fast-Coreset from the O(polylog) seed (standard Algorithm 1);
+//   round i: solve k-means/k-median on the *coreset* (cheap — the coreset
+//            is small), re-assign the full dataset to the improved
+//            solution via the quadtree (TreeAssign, Õ(nd) — never O(nkd)),
+//            and re-run the sampling tail (steps 3–5) with the better
+//            sensitivities.
+//
+// Each round improves the candidate solution from polylog-approximate
+// toward O(1)-approximate, which is what the near-optimal coreset size of
+// Fact 3.1 requires; the paper notes only an O(log* n) number of rounds
+// is ever needed.
+
+#ifndef FASTCORESET_CORE_ITERATIVE_CORESET_H_
+#define FASTCORESET_CORE_ITERATIVE_CORESET_H_
+
+#include "src/core/fast_coreset.h"
+
+namespace fastcoreset {
+
+/// Options for the iterative construction.
+struct IterativeCoresetOptions {
+  FastCoresetOptions base;  ///< Round-0 Fast-Coreset configuration.
+  int rounds = 2;           ///< Total rounds (1 = plain Fast-Coreset).
+  int refine_iters = 5;     ///< Lloyd / k-median steps on the coreset.
+};
+
+/// Runs `rounds` rounds of coreset -> solve-on-coreset -> tree-reassign ->
+/// resample. Returns the final coreset (rows of `points`).
+Coreset IterativeFastCoreset(const Matrix& points,
+                             const std::vector<double>& weights,
+                             const IterativeCoresetOptions& options,
+                             Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CORE_ITERATIVE_CORESET_H_

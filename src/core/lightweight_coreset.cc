@@ -1,0 +1,39 @@
+#include "src/core/lightweight_coreset.h"
+
+#include "src/core/importance.h"
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+
+Coreset LightweightCoreset(const Matrix& points,
+                           const std::vector<double>& weights, size_t m,
+                           int z, Rng& rng) {
+  const size_t n = points.rows();
+  FC_CHECK_GT(n, 0u);
+  FC_CHECK(z == 1 || z == 2);
+
+  // The 1-means solution: every point is assigned to the mean. Reuse the
+  // generic sensitivity machinery with a single-cluster assignment.
+  Matrix mean(1, points.cols());
+  const std::vector<double> mu = [&] {
+    if (weights.empty()) return points.ColumnMeans();
+    std::vector<double> acc(points.cols(), 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += weights[i];
+      const auto row = points.Row(i);
+      for (size_t j = 0; j < points.cols(); ++j) acc[j] += weights[i] * row[j];
+    }
+    FC_CHECK_GT(total, 0.0);
+    for (double& x : acc) x /= total;
+    return acc;
+  }();
+  for (size_t j = 0; j < points.cols(); ++j) mean.At(0, j) = mu[j];
+
+  const std::vector<size_t> assignment(n, 0);
+  ImportanceScores scores =
+      ComputeSensitivities(points, weights, assignment, mean, z);
+  return SampleByImportance(points, weights, scores, m, rng);
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,22 @@
+// Lightweight coresets (Bachem, Lucic, Krause, KDD'18): sensitivity
+// sampling against the 1-means solution (the dataset mean). O(nd), but the
+// guarantee is additive — ε * cost(P, {μ}) — so small clusters near the
+// center of mass can be missed entirely (Figure 3 of the paper).
+
+#ifndef FASTCORESET_CORE_LIGHTWEIGHT_CORESET_H_
+#define FASTCORESET_CORE_LIGHTWEIGHT_CORESET_H_
+
+#include "src/core/coreset.h"
+
+namespace fastcoreset {
+
+/// Lightweight coreset of size m for exponent z (2 = k-means as in the
+/// original paper; z = 1 uses distances to the mean). Importances are
+/// 1/2 * w_p / W + 1/2 * w_p dist^z(p, μ) / cost(P, {μ}).
+Coreset LightweightCoreset(const Matrix& points,
+                           const std::vector<double>& weights, size_t m,
+                           int z, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CORE_LIGHTWEIGHT_CORESET_H_

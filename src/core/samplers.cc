@@ -1,0 +1,65 @@
+#include "src/core/samplers.h"
+
+#include "src/core/lightweight_coreset.h"
+#include "src/core/sensitivity_sampling.h"
+#include "src/core/uniform_sampling.h"
+#include "src/core/welterweight_coreset.h"
+
+namespace fastcoreset {
+
+std::string SamplerName(SamplerKind kind) {
+  switch (kind) {
+    case SamplerKind::kUniform:
+      return "Uniform";
+    case SamplerKind::kLightweight:
+      return "Lightweight";
+    case SamplerKind::kWelterweight:
+      return "Welterweight";
+    case SamplerKind::kSensitivity:
+      return "Sensitivity";
+    case SamplerKind::kFastCoreset:
+      return "FastCoreset";
+  }
+  return "Unknown";
+}
+
+std::vector<SamplerKind> AllSamplers() {
+  return {SamplerKind::kUniform, SamplerKind::kLightweight,
+          SamplerKind::kWelterweight, SamplerKind::kSensitivity,
+          SamplerKind::kFastCoreset};
+}
+
+Coreset BuildCoreset(SamplerKind kind, const Matrix& points,
+                     const std::vector<double>& weights, size_t k, size_t m,
+                     int z, Rng& rng, size_t j) {
+  switch (kind) {
+    case SamplerKind::kUniform:
+      return UniformSamplingCoreset(points, weights, m, rng);
+    case SamplerKind::kLightweight:
+      return LightweightCoreset(points, weights, m, z, rng);
+    case SamplerKind::kWelterweight:
+      return WelterweightCoreset(points, weights, k, j, m, z, rng);
+    case SamplerKind::kSensitivity:
+      return SensitivitySamplingCoreset(points, weights, k, m, z, rng);
+    case SamplerKind::kFastCoreset: {
+      FastCoresetOptions options;
+      options.k = k;
+      options.m = m;
+      options.z = z;
+      return FastCoreset(points, weights, options, rng);
+    }
+  }
+  FC_CHECK_MSG(false, "unreachable sampler kind");
+  return Coreset{};
+}
+
+CoresetBuilder MakeCoresetBuilder(SamplerKind kind, size_t k, int z,
+                                  size_t j) {
+  return [kind, k, z, j](const Matrix& points,
+                         const std::vector<double>& weights, size_t m,
+                         Rng& rng) {
+    return BuildCoreset(kind, points, weights, k, m, z, rng, j);
+  };
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,43 @@
+// Uniform registry over all compression methods, used by the experiment
+// harness and the streaming layer (which treats samplers as black boxes).
+
+#ifndef FASTCORESET_CORE_SAMPLERS_H_
+#define FASTCORESET_CORE_SAMPLERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/coreset.h"
+#include "src/core/fast_coreset.h"
+
+namespace fastcoreset {
+
+/// The sampling-method spectrum of Section 5.2, ordered fastest to most
+/// accurate.
+enum class SamplerKind {
+  kUniform,
+  kLightweight,
+  kWelterweight,
+  kSensitivity,
+  kFastCoreset,
+};
+
+/// Human-readable method name (matches the paper's table headers).
+std::string SamplerName(SamplerKind kind);
+
+/// All five methods in spectrum order.
+std::vector<SamplerKind> AllSamplers();
+
+/// Builds a coreset of size m with the selected method. `k` is the target
+/// cluster count; `j` only affects welterweight (0 = default log2 k).
+Coreset BuildCoreset(SamplerKind kind, const Matrix& points,
+                     const std::vector<double>& weights, size_t k, size_t m,
+                     int z, Rng& rng, size_t j = 0);
+
+/// Wraps a method into the streaming CoresetBuilder signature.
+CoresetBuilder MakeCoresetBuilder(SamplerKind kind, size_t k, int z,
+                                  size_t j = 0);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CORE_SAMPLERS_H_

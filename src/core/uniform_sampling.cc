@@ -1,0 +1,38 @@
+#include "src/core/uniform_sampling.h"
+
+#include <algorithm>
+
+#include "src/core/importance.h"
+
+namespace fastcoreset {
+
+Coreset UniformSamplingCoreset(const Matrix& points,
+                               const std::vector<double>& weights, size_t m,
+                               Rng& rng) {
+  const size_t n = points.rows();
+  FC_CHECK_GT(n, 0u);
+  FC_CHECK_GT(m, 0u);
+
+  if (!weights.empty()) {
+    ImportanceScores scores;
+    scores.sigma = weights;
+    for (double w : weights) scores.total += w;
+    return SampleByImportance(points, weights, scores, m, rng);
+  }
+
+  Coreset coreset;
+  if (m >= n) {
+    coreset.indices.resize(n);
+    for (size_t i = 0; i < n; ++i) coreset.indices[i] = i;
+    coreset.points = points;
+    coreset.weights.assign(n, 1.0);
+    return coreset;
+  }
+  coreset.indices = rng.SampleWithoutReplacement(n, m);
+  std::sort(coreset.indices.begin(), coreset.indices.end());
+  coreset.points = points.SelectRows(coreset.indices);
+  coreset.weights.assign(m, static_cast<double>(n) / static_cast<double>(m));
+  return coreset;
+}
+
+}  // namespace fastcoreset

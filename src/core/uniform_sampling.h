@@ -1,0 +1,24 @@
+// Uniform sampling: the fastest compression (sublinear — it never reads
+// points it does not sample) and the weakest one (no worst-case accuracy:
+// a missed outlier cluster breaks it, as Tables 2 and 4 show on the
+// Taxi-like and Star-like datasets).
+
+#ifndef FASTCORESET_CORE_UNIFORM_SAMPLING_H_
+#define FASTCORESET_CORE_UNIFORM_SAMPLING_H_
+
+#include "src/core/coreset.h"
+
+namespace fastcoreset {
+
+/// Uniform coreset of size m. Unweighted inputs sample without replacement
+/// with weight n/m per point (the paper's setup); weighted inputs sample
+/// with replacement proportional to the weights, each draw carrying weight
+/// W/m, with duplicates merged (the natural weighted generalization used
+/// when composing in a stream).
+Coreset UniformSamplingCoreset(const Matrix& points,
+                               const std::vector<double>& weights, size_t m,
+                               Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_CORE_UNIFORM_SAMPLING_H_

@@ -1,0 +1,36 @@
+#include "src/data/coreset_io.h"
+
+#include "src/data/csv_loader.h"
+
+namespace fastcoreset {
+
+bool SaveCoresetCsv(const std::string& path, const Coreset& coreset) {
+  Matrix out(coreset.size(), coreset.points.cols() + 1);
+  for (size_t r = 0; r < coreset.size(); ++r) {
+    for (size_t j = 0; j < coreset.points.cols(); ++j) {
+      out.At(r, j) = coreset.points.At(r, j);
+    }
+    out.At(r, coreset.points.cols()) = coreset.weights[r];
+  }
+  return SaveCsv(path, out);
+}
+
+std::optional<Coreset> LoadCoresetCsv(const std::string& path) {
+  const std::optional<Matrix> raw = LoadCsv(path);
+  if (!raw.has_value() || raw->cols() < 2) return std::nullopt;
+
+  Coreset coreset;
+  const size_t d = raw->cols() - 1;
+  coreset.points = Matrix(raw->rows(), d);
+  coreset.weights.reserve(raw->rows());
+  coreset.indices.assign(raw->rows(), Coreset::kSyntheticIndex);
+  for (size_t r = 0; r < raw->rows(); ++r) {
+    for (size_t j = 0; j < d; ++j) coreset.points.At(r, j) = raw->At(r, j);
+    const double weight = raw->At(r, d);
+    if (weight <= 0.0) return std::nullopt;
+    coreset.weights.push_back(weight);
+  }
+  return coreset;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,27 @@
+// Coreset serialization: a CSV sidecar format (point columns + one weight
+// column, matching fc_compress's output) so compressions can be stored,
+// shipped between MapReduce workers, or reloaded into a later session.
+
+#ifndef FASTCORESET_DATA_CORESET_IO_H_
+#define FASTCORESET_DATA_CORESET_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "src/core/coreset.h"
+
+namespace fastcoreset {
+
+/// Writes `coreset` as CSV rows: d point columns followed by the weight.
+/// Source indices are not persisted (they are session-local). Returns
+/// false on I/O failure.
+bool SaveCoresetCsv(const std::string& path, const Coreset& coreset);
+
+/// Reads a coreset written by SaveCoresetCsv (last column = weight).
+/// Indices are set to Coreset::kSyntheticIndex. Returns nullopt on parse
+/// errors or non-positive weights.
+std::optional<Coreset> LoadCoresetCsv(const std::string& path);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_DATA_CORESET_IO_H_

@@ -1,0 +1,56 @@
+#include "src/data/csv_loader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fastcoreset {
+
+std::optional<Matrix> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+
+  std::vector<double> data;
+  size_t cols = 0;
+  size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t row_cols = 0;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) return std::nullopt;  // Non-numeric cell.
+      data.push_back(value);
+      ++row_cols;
+    }
+    if (rows == 0) {
+      cols = row_cols;
+    } else if (row_cols != cols) {
+      return std::nullopt;  // Ragged row.
+    }
+    ++rows;
+  }
+  if (rows == 0 || cols == 0) return std::nullopt;
+  return Matrix(rows, cols, std::move(data));
+}
+
+bool SaveCsv(const std::string& path, const Matrix& points) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const auto row = points.Row(i);
+    for (size_t j = 0; j < points.cols(); ++j) {
+      if (j) out << ',';
+      out << row[j];
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace fastcoreset

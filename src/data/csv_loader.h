@@ -1,0 +1,23 @@
+// Minimal CSV I/O so users can run the library on their own data and so
+// benches can export point clouds (Figure 3) for external plotting.
+
+#ifndef FASTCORESET_DATA_CSV_LOADER_H_
+#define FASTCORESET_DATA_CSV_LOADER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Loads a headerless comma-separated numeric matrix. Returns nullopt on
+/// I/O or parse errors (ragged rows, non-numeric cells).
+std::optional<Matrix> LoadCsv(const std::string& path);
+
+/// Writes `points` as comma-separated rows. Returns false on I/O error.
+bool SaveCsv(const std::string& path, const Matrix& points);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_DATA_CSV_LOADER_H_

@@ -1,0 +1,173 @@
+#include "src/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastcoreset {
+
+namespace {
+
+constexpr double kNoiseScale = 1e-3;
+
+}  // namespace
+
+void AddUniformNoise(Matrix* points, double scale, Rng& rng) {
+  FC_CHECK(points != nullptr);
+  for (double& x : points->data()) x += rng.Uniform(0.0, scale);
+}
+
+Matrix GenerateCOutlier(size_t n, size_t c, size_t d, double separation,
+                        Rng& rng) {
+  FC_CHECK_GT(n, c);
+  FC_CHECK_GT(d, 0u);
+  Matrix points(n, d);
+
+  // Random unit direction for the outlier location.
+  std::vector<double> direction(d);
+  double norm_sq = 0.0;
+  for (double& x : direction) {
+    x = rng.NextGaussian();
+    norm_sq += x * x;
+  }
+  const double inv_norm = 1.0 / std::sqrt(std::max(norm_sq, 1e-300));
+  for (double& x : direction) x *= inv_norm;
+
+  for (size_t i = n - c; i < n; ++i) {
+    auto row = points.Row(i);
+    for (size_t j = 0; j < d; ++j) row[j] = separation * direction[j];
+  }
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return points;
+}
+
+Matrix GenerateGeometric(size_t k, size_t c, size_t r, size_t d, Rng& rng) {
+  FC_CHECK_GE(r, 2u);
+  FC_CHECK_GT(c * k, 0u);
+  // Round sizes: ck, ck/r, ck/r^2, ... until the size would drop below 1.
+  std::vector<size_t> sizes;
+  double size = static_cast<double>(c * k);
+  while (size >= 1.0) {
+    sizes.push_back(static_cast<size_t>(size));
+    size /= static_cast<double>(r);
+  }
+  FC_CHECK_MSG(sizes.size() <= d,
+               "geometric dataset needs d >= log_r(c*k) dimensions");
+
+  size_t n = 0;
+  for (size_t s : sizes) n += s;
+  Matrix points(n, d);
+  size_t row_idx = 0;
+  for (size_t vertex = 0; vertex < sizes.size(); ++vertex) {
+    for (size_t i = 0; i < sizes[vertex]; ++i) {
+      points.At(row_idx++, vertex) = 1.0;
+    }
+  }
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return points;
+}
+
+Matrix GenerateGaussianMixture(size_t n, size_t d, size_t kappa, double gamma,
+                               Rng& rng, double box, double cluster_std) {
+  FC_CHECK_GT(n, 0u);
+  FC_CHECK_GT(kappa, 0u);
+
+  // The paper's sequential size construction.
+  std::vector<size_t> sizes(kappa, 0);
+  size_t assigned = 0;
+  for (size_t i = 0; i < kappa; ++i) {
+    const double rho = rng.Uniform(-0.5, 0.5);
+    const double remaining = static_cast<double>(n - assigned);
+    const double denom = static_cast<double>(kappa - i);
+    double want = remaining / denom * std::exp(gamma * rho);
+    size_t take = static_cast<size_t>(std::max(1.0, std::round(want)));
+    take = std::min(take, n - assigned - (kappa - 1 - i));  // Leave >= 1 each.
+    sizes[i] = take;
+    assigned += take;
+  }
+  sizes[kappa - 1] += n - assigned;  // Exact total.
+
+  Matrix points(n, d);
+  size_t row_idx = 0;
+  std::vector<double> center(d);
+  for (size_t i = 0; i < kappa; ++i) {
+    for (double& x : center) x = rng.Uniform(0.0, box);
+    for (size_t p = 0; p < sizes[i]; ++p) {
+      auto row = points.Row(row_idx++);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] = center[j] + cluster_std * rng.NextGaussian();
+      }
+    }
+  }
+  FC_CHECK_EQ(row_idx, n);
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return points;
+}
+
+Matrix GenerateBenchmark(size_t n, size_t k, Rng& rng) {
+  FC_CHECK_GE(k, 4u);
+  const size_t k1 = k / 2;
+  const size_t k2 = (k - k1) / 2;
+  const size_t k3 = k - k1 - k2;
+  const size_t sub_k[3] = {k1, k2, k3};
+
+  // Each sub-instance lives in its own coordinate block so solutions do
+  // not interact across sub-instances.
+  size_t total_dim = 0;
+  for (size_t s : sub_k) total_dim += s + 1;
+
+  Matrix points(0, total_dim);
+  const double simplex_scale = 10.0;
+  size_t dim_offset = 0;
+  for (int block = 0; block < 3; ++block) {
+    const size_t vertices = sub_k[block] + 1;
+    const size_t per_vertex =
+        std::max<size_t>(1, n / (3 * vertices));
+    std::vector<double> offset(total_dim);
+    for (double& x : offset) x = rng.Uniform(0.0, 100.0);
+
+    Matrix sub(per_vertex * vertices, total_dim);
+    size_t row_idx = 0;
+    for (size_t v = 0; v < vertices; ++v) {
+      for (size_t p = 0; p < per_vertex; ++p) {
+        auto row = sub.Row(row_idx++);
+        for (size_t j = 0; j < total_dim; ++j) row[j] = offset[j];
+        row[dim_offset + v] += simplex_scale;
+      }
+    }
+    points.AppendRows(sub);
+    dim_offset += vertices;
+  }
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return points;
+}
+
+Matrix GenerateSpreadDataset(size_t n, size_t r, Rng& rng) {
+  FC_CHECK_GT(r, 0u);
+  const size_t n_special = std::min(n / 2, std::max<size_t>(r, n / 10));
+  const size_t copies = std::max<size_t>(1, n_special / r);
+  const size_t n_uniform = n - copies * r;
+
+  Matrix points(n_uniform + copies * r, 2);
+  size_t row_idx = 0;
+  for (size_t i = 0; i < n_uniform; ++i) {
+    auto row = points.Row(row_idx++);
+    row[0] = rng.Uniform(-1.0, 1.0);
+    row[1] = rng.Uniform(-1.0, 1.0);
+  }
+  for (size_t copy = 0; copy < copies; ++copy) {
+    const double x = rng.Uniform(-1.0, 1.0);
+    double y = 1.0;
+    for (size_t step = 0; step < r; ++step) {
+      auto row = points.Row(row_idx++);
+      row[0] = x;
+      row[1] = y;
+      y *= 0.5;
+    }
+  }
+  FC_CHECK_EQ(row_idx, points.rows());
+  // No noise: the 0.5^r geometry *is* the point of this dataset, and noise
+  // at 1e-3 would flatten the fine scales.
+  return points;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,63 @@
+// Artificial dataset generators from Section 5.2, each engineered to
+// stress a different failure mode of the sampling spectrum:
+//   - c-outlier: almost no information, but missing the c outliers is
+//     catastrophic (breaks uniform sampling).
+//   - Geometric: exponentially shrinking mass on simplex vertices — many
+//     "regions of interest" with wildly uneven weight.
+//   - Gaussian mixture: uneven inter-cluster distances and γ-controlled
+//     exponential cluster-size imbalance (Table 7's knob).
+//   - Benchmark (Schwiegelshohn & Sheikh-Omar, ESA'22): all reasonable
+//     k-means solutions are equal-cost but maximally far apart — the
+//     adversarial case for sensitivity sampling's reliance on a seed
+//     solution.
+//   - Spread dataset (Table 1): log Δ grows linearly with the parameter r,
+//     stressing the quadtree depth.
+
+#ifndef FASTCORESET_DATA_GENERATORS_H_
+#define FASTCORESET_DATA_GENERATORS_H_
+
+#include <cstddef>
+
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Adds i.i.d. uniform noise in [0, scale) to every coordinate (the paper
+/// perturbs all datasets with scale 1e-3 so points are unique).
+void AddUniformNoise(Matrix* points, double scale, Rng& rng);
+
+/// n - c points at the origin, c points at distance `separation` along a
+/// random direction. Noise 1e-3 applied.
+Matrix GenerateCOutlier(size_t n, size_t c, size_t d, double separation,
+                        Rng& rng);
+
+/// Geometric dataset: c*k points at e_1, c*k/r at e_2, c*k/r^2 at e_3, ...
+/// for log_r(c*k) rounds (vertices of a high-dimensional simplex with
+/// exponentially uneven weights). d must cover the number of rounds.
+Matrix GenerateGeometric(size_t k, size_t c, size_t r, size_t d, Rng& rng);
+
+/// Gaussian mixture of `kappa` clusters over n points in d dims. Cluster
+/// sizes follow the paper's sequential construction:
+/// |c_{i+1}| = (n - sum) / (kappa - i) * exp(gamma * rho), rho ~ U[-.5,.5];
+/// gamma = 0 gives balanced clusters, larger gamma exponential imbalance.
+/// Centers are scattered uniformly in [0, box]^d with unit-variance noise.
+Matrix GenerateGaussianMixture(size_t n, size_t d, size_t kappa, double gamma,
+                               Rng& rng, double box = 500.0,
+                               double cluster_std = 1.0);
+
+/// ESA'22-style benchmark instance: three sub-instances with parameter
+/// k1 = k/2, k2 = (k-k1)/2, k3 = k-k1-k2; each sub-instance places
+/// n_i/(k_i+1) points on each vertex of a regular k_i-simplex (every
+/// k_i-subset of vertices is an optimal solution), with a random offset
+/// per sub-instance. Total points ~ n.
+Matrix GenerateBenchmark(size_t n, size_t k, Rng& rng);
+
+/// Table-1 spread dataset: n - n' points uniform in [-1,1]^2 plus n'/r
+/// copies of the sequence (x_j, 0.5^0), ..., (x_j, 0.5^r) at distinct x
+/// coordinates; log Δ grows linearly with r.
+Matrix GenerateSpreadDataset(size_t n, size_t r, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_DATA_GENERATORS_H_

@@ -1,0 +1,252 @@
+#include "src/data/real_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/generators.h"
+
+namespace fastcoreset {
+
+namespace {
+
+constexpr double kNoiseScale = 1e-3;
+
+size_t Scaled(size_t base, double scale) {
+  return std::max<size_t>(1000, static_cast<size_t>(
+                                    static_cast<double>(base) * scale));
+}
+
+/// Gaussian blobs with explicit sizes, centers in [0, box]^d.
+Matrix Blobs(const std::vector<size_t>& sizes, size_t d, double box,
+             double std_dev, Rng& rng) {
+  size_t n = 0;
+  for (size_t s : sizes) n += s;
+  Matrix points(n, d);
+  std::vector<double> center(d);
+  size_t row_idx = 0;
+  for (size_t size : sizes) {
+    for (double& x : center) x = rng.Uniform(0.0, box);
+    for (size_t p = 0; p < size; ++p) {
+      auto row = points.Row(row_idx++);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] = center[j] + std_dev * rng.NextGaussian();
+      }
+    }
+  }
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return points;
+}
+
+std::vector<size_t> SplitEvenly(size_t n, size_t parts) {
+  std::vector<size_t> sizes(parts, n / parts);
+  sizes[0] += n - (n / parts) * parts;
+  return sizes;
+}
+
+}  // namespace
+
+Dataset MakeAdultLike(size_t n, Rng& rng) {
+  // Benign tabular data: ~10 moderately separated clusters, mild (2:1)
+  // imbalance. Every sampling method should tie here (Table 2 row Adult).
+  std::vector<size_t> sizes;
+  size_t remaining = n;
+  for (int i = 0; i < 9; ++i) {
+    const size_t take = std::max<size_t>(1, remaining / (12 - i));
+    sizes.push_back(take * (i % 2 == 0 ? 2 : 1) <= remaining
+                        ? take * (i % 2 == 0 ? 2 : 1)
+                        : remaining);
+    remaining -= sizes.back();
+  }
+  sizes.push_back(remaining);
+  return Dataset{"Adult", Blobs(sizes, 14, 40.0, 2.0, rng), 100};
+}
+
+Dataset MakeMnistLike(size_t n, Rng& rng) {
+  // High-dimensional well-separated digit-like blobs: each class lives on
+  // a sparse support (most "pixels" near zero), classes roughly balanced.
+  const size_t d = 784;
+  const size_t classes = 10;
+  const std::vector<size_t> sizes = SplitEvenly(n, classes);
+  Matrix points(n, d);
+  size_t row_idx = 0;
+  std::vector<double> pattern(d);
+  for (size_t cls = 0; cls < classes; ++cls) {
+    // ~15% active pixels per class with intensity in [0.5, 1].
+    for (double& x : pattern) {
+      x = rng.NextDouble() < 0.15 ? rng.Uniform(0.5, 1.0) : 0.0;
+    }
+    for (size_t p = 0; p < sizes[cls]; ++p) {
+      auto row = points.Row(row_idx++);
+      for (size_t j = 0; j < d; ++j) {
+        const double base = pattern[j];
+        row[j] = base > 0.0 ? std::max(0.0, base + 0.1 * rng.NextGaussian())
+                            : 0.0;
+      }
+    }
+  }
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return Dataset{"MNIST", std::move(points), 100};
+}
+
+Dataset MakeStarLike(size_t n, Rng& rng) {
+  // A shooting-star image: almost all pixels are dark (one huge tight
+  // blob), a small streak cluster and a tiny bright head far away. The
+  // bright head is a fixed ~25 pixels, so at the paper's sampling rates a
+  // uniform sample misses it with constant probability — the source of
+  // Star's 8.46x uniform failure in Table 2.
+  const size_t tiny = 25;
+  const size_t small = std::max<size_t>(100, n / 200);  // ~0.5%
+  const size_t dark = n - tiny - small;
+  Matrix points(n, 3);
+  size_t row_idx = 0;
+  for (size_t i = 0; i < dark; ++i) {
+    auto row = points.Row(row_idx++);
+    for (int j = 0; j < 3; ++j) row[j] = 0.5 * rng.NextGaussian();
+  }
+  for (size_t i = 0; i < small; ++i) {
+    auto row = points.Row(row_idx++);
+    row[0] = 120.0 + rng.NextGaussian();
+    row[1] = 80.0 + rng.NextGaussian();
+    row[2] = 60.0 + rng.NextGaussian();
+  }
+  for (size_t i = 0; i < tiny; ++i) {
+    auto row = points.Row(row_idx++);
+    row[0] = 420.0 + 0.5 * rng.NextGaussian();
+    row[1] = 400.0 + 0.5 * rng.NextGaussian();
+    row[2] = 380.0 + 0.5 * rng.NextGaussian();
+  }
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return Dataset{"Star", std::move(points), 100};
+}
+
+Dataset MakeSongLike(size_t n, Rng& rng) {
+  // Diffuse audio features: ~25 anisotropic blobs whose radii follow a
+  // lognormal (heavy tail), overlapping considerably.
+  const size_t d = 90;
+  const size_t blobs = 25;
+  const std::vector<size_t> sizes = SplitEvenly(n, blobs);
+  Matrix points(n, d);
+  std::vector<double> center(d);
+  std::vector<double> axis_scale(d);
+  size_t row_idx = 0;
+  for (size_t b = 0; b < blobs; ++b) {
+    for (double& x : center) x = rng.Uniform(0.0, 60.0);
+    const double radius = std::exp(1.0 + 0.8 * rng.NextGaussian());
+    for (double& s : axis_scale) s = radius * rng.Uniform(0.3, 1.7);
+    for (size_t p = 0; p < sizes[b]; ++p) {
+      auto row = points.Row(row_idx++);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] = center[j] + axis_scale[j] * rng.NextGaussian();
+      }
+    }
+  }
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return Dataset{"Song", std::move(points), 100};
+}
+
+Dataset MakeCovtypeLike(size_t n, Rng& rng) {
+  // Seven cover types with moderate imbalance (two classes dominate, as in
+  // the real data) but no extreme outliers.
+  std::vector<size_t> sizes;
+  const double fractions[7] = {0.36, 0.33, 0.12, 0.09, 0.05, 0.03, 0.02};
+  size_t assigned = 0;
+  for (int i = 0; i < 6; ++i) {
+    sizes.push_back(static_cast<size_t>(fractions[i] * n));
+    assigned += sizes.back();
+  }
+  sizes.push_back(n - assigned);
+  return Dataset{"Cover Type", Blobs(sizes, 54, 80.0, 4.0, rng), 100};
+}
+
+Dataset MakeTaxiLike(size_t n, Rng& rng) {
+  // 2-D pickup locations: Zipf-sized street clusters in the city box plus
+  // a handful of tiny remote clusters (airports / suburbs) far outside.
+  // The remote mass is what uniform sampling misses.
+  const size_t remote_clusters = 6;
+  const size_t remote_each = std::max<size_t>(10, n / 2000);
+  const size_t city_n = n - remote_clusters * remote_each;
+  const size_t city_clusters = 200;
+
+  // Zipf(1.5) sizes over city clusters.
+  std::vector<double> raw(city_clusters);
+  double total = 0.0;
+  for (size_t i = 0; i < city_clusters; ++i) {
+    raw[i] = 1.0 / std::pow(static_cast<double>(i + 1), 1.5);
+    total += raw[i];
+  }
+  std::vector<size_t> sizes(city_clusters);
+  size_t assigned = 0;
+  for (size_t i = 0; i < city_clusters; ++i) {
+    sizes[i] = std::max<size_t>(
+        1, static_cast<size_t>(raw[i] / total * static_cast<double>(city_n)));
+    assigned += sizes[i];
+  }
+  while (assigned > city_n) {
+    sizes[0]--;
+    assigned--;
+  }
+  sizes[0] += city_n - assigned;
+
+  Matrix points(n, 2);
+  size_t row_idx = 0;
+  for (size_t c = 0; c < city_clusters; ++c) {
+    const double cx = rng.Uniform(0.0, 100.0);
+    const double cy = rng.Uniform(0.0, 100.0);
+    const double spread = rng.Uniform(0.05, 1.5);
+    for (size_t p = 0; p < sizes[c]; ++p) {
+      auto row = points.Row(row_idx++);
+      row[0] = cx + spread * rng.NextGaussian();
+      row[1] = cy + spread * rng.NextGaussian();
+    }
+  }
+  for (size_t c = 0; c < remote_clusters; ++c) {
+    const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    const double dist = rng.Uniform(3000.0, 8000.0);
+    const double cx = 50.0 + dist * std::cos(angle);
+    const double cy = 50.0 + dist * std::sin(angle);
+    for (size_t p = 0; p < remote_each; ++p) {
+      auto row = points.Row(row_idx++);
+      row[0] = cx + 0.5 * rng.NextGaussian();
+      row[1] = cy + 0.5 * rng.NextGaussian();
+    }
+  }
+  FC_CHECK_EQ(row_idx, n);
+  AddUniformNoise(&points, kNoiseScale, rng);
+  return Dataset{"Taxi", std::move(points), 100};
+}
+
+Dataset MakeCensusLike(size_t n, Rng& rng) {
+  // Large benign mixture: 20 balanced clusters in 68 dims.
+  return Dataset{"Census", Blobs(SplitEvenly(n, 20), 68, 60.0, 3.0, rng),
+                 100};
+}
+
+std::vector<Dataset> RealLikeSuite(double scale, Rng& rng) {
+  std::vector<Dataset> suite;
+  suite.push_back(MakeAdultLike(Scaled(20000, scale), rng));
+  suite.push_back(MakeMnistLike(Scaled(10000, scale), rng));
+  suite.push_back(MakeStarLike(Scaled(100000, scale), rng));
+  suite.push_back(MakeSongLike(Scaled(30000, scale), rng));
+  suite.push_back(MakeCovtypeLike(Scaled(30000, scale), rng));
+  suite.push_back(MakeTaxiLike(Scaled(50000, scale), rng));
+  suite.push_back(MakeCensusLike(Scaled(50000, scale), rng));
+  return suite;
+}
+
+std::vector<Dataset> ArtificialSuite(double scale, Rng& rng) {
+  const size_t n = Scaled(50000, scale);
+  std::vector<Dataset> suite;
+  // c = 5 outliers: at the paper's m = 40k sampling rates a uniform sample
+  // misses all of them with constant probability, producing the huge
+  // mean-and-variance cells of Table 4.
+  suite.push_back(
+      Dataset{"c-outlier", GenerateCOutlier(n, 5, 50, 1e4, rng), 100});
+  suite.push_back(
+      Dataset{"Geometric", GenerateGeometric(100, 100, 2, 50, rng), 100});
+  suite.push_back(Dataset{
+      "Gaussian Mix.", GenerateGaussianMixture(n, 50, 50, 3.0, rng), 100});
+  suite.push_back(Dataset{"Benchmark", GenerateBenchmark(n, 100, rng), 100});
+  return suite;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,80 @@
+#include "src/eval/distortion.h"
+
+#include <algorithm>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/kmedian.h"
+#include "src/clustering/lloyd.h"
+
+namespace fastcoreset {
+
+Matrix SolveOnCoreset(const Coreset& coreset, const DistortionOptions& options,
+                      Rng& rng) {
+  FC_CHECK_GT(coreset.size(), 0u);
+  const Clustering seed = KMeansPlusPlus(coreset.points, coreset.weights,
+                                         options.k, options.z, rng);
+  if (options.refine_iters <= 0) return seed.centers;
+  if (options.z == 2) {
+    LloydOptions lloyd;
+    lloyd.max_iters = options.refine_iters;
+    return LloydKMeans(coreset.points, coreset.weights, seed.centers, lloyd)
+        .centers;
+  }
+  return LloydKMedian(coreset.points, coreset.weights, seed.centers,
+                      options.refine_iters)
+      .centers;
+}
+
+namespace {
+
+/// Distortion of a fixed candidate solution.
+double DistortionOfSolution(const Matrix& points,
+                            const std::vector<double>& weights,
+                            const Coreset& coreset, const Matrix& solution,
+                            int z) {
+  const double cost_full = CostToCenters(points, weights, solution, z);
+  const double cost_coreset =
+      CostToCenters(coreset.points, coreset.weights, solution, z);
+  if (cost_full <= 0.0 && cost_coreset <= 0.0) return 1.0;
+  if (cost_full <= 0.0 || cost_coreset <= 0.0) return 1e12;
+  return std::max(cost_full / cost_coreset, cost_coreset / cost_full);
+}
+
+}  // namespace
+
+double MaxDistortionOverProbes(const Matrix& points,
+                               const std::vector<double>& weights,
+                               const Coreset& coreset,
+                               const DistortionOptions& options,
+                               int extra_probes, Rng& rng) {
+  double worst = CoresetDistortion(points, weights, coreset, options, rng);
+  for (int p = 0; p < extra_probes; ++p) {
+    // Candidate solutions seeded on the *full* data probe regions the
+    // coreset-derived solution may never visit.
+    const Clustering probe =
+        KMeansPlusPlus(points, weights, options.k, options.z, rng);
+    worst = std::max(worst, DistortionOfSolution(points, weights, coreset,
+                                                 probe.centers, options.z));
+  }
+  return worst;
+}
+
+double CoresetDistortion(const Matrix& points,
+                         const std::vector<double>& weights,
+                         const Coreset& coreset,
+                         const DistortionOptions& options, Rng& rng) {
+  const Matrix solution = SolveOnCoreset(coreset, options, rng);
+  const double cost_full = CostToCenters(points, weights, solution, options.z);
+  const double cost_coreset =
+      CostToCenters(coreset.points, coreset.weights, solution, options.z);
+  if (cost_full <= 0.0 && cost_coreset <= 0.0) return 1.0;
+  if (cost_full <= 0.0 || cost_coreset <= 0.0) {
+    // One side collapsed to zero: unbounded distortion in theory; report a
+    // large sentinel that still sorts sensibly in tables.
+    return 1e12;
+  }
+  return std::max(cost_full / cost_coreset, cost_coreset / cost_full);
+}
+
+}  // namespace fastcoreset

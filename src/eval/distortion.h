@@ -1,0 +1,52 @@
+// Coreset distortion (Schwiegelshohn & Sheikh-Omar, ESA'22): the paper's
+// accuracy metric. Checking the full coreset guarantee is co-NP-hard, so
+// distortion probes it with a candidate solution *computed on the coreset*:
+//   distortion = max( cost(P, C_Ω) / cost(Ω, C_Ω),
+//                     cost(Ω, C_Ω) / cost(P, C_Ω) ).
+// A valid ε-coreset keeps this within 1 + ε for any C_Ω; a compression
+// that dropped a cluster lets the solver "succeed" on Ω while the true
+// cost explodes, and the ratio blows up.
+
+#ifndef FASTCORESET_EVAL_DISTORTION_H_
+#define FASTCORESET_EVAL_DISTORTION_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/coreset.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Options for the distortion probe.
+struct DistortionOptions {
+  size_t k = 100;       ///< Clusters of the candidate solution.
+  int z = 2;            ///< 1 = k-median, 2 = k-means.
+  int refine_iters = 5; ///< Lloyd / k-median alternation steps on Ω.
+};
+
+/// Candidate solution on the coreset: k-means++/k-median++ seeding over
+/// (Ω.points, Ω.weights) plus a few refinement iterations.
+Matrix SolveOnCoreset(const Coreset& coreset, const DistortionOptions& options,
+                      Rng& rng);
+
+/// Distortion of `coreset` w.r.t. (points, weights); weights may be empty.
+double CoresetDistortion(const Matrix& points,
+                         const std::vector<double>& weights,
+                         const Coreset& coreset,
+                         const DistortionOptions& options, Rng& rng);
+
+/// Stricter probe: the maximum distortion over the coreset-derived
+/// solution *and* `extra_probes` additional candidate solutions seeded on
+/// the full data with distinct seeds. The coreset definition quantifies
+/// over all solutions (co-NP-hard to verify); more probes give a tighter
+/// lower bound on the true worst case.
+double MaxDistortionOverProbes(const Matrix& points,
+                               const std::vector<double>& weights,
+                               const Coreset& coreset,
+                               const DistortionOptions& options,
+                               int extra_probes, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_EVAL_DISTORTION_H_

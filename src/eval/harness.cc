@@ -1,0 +1,18 @@
+#include "src/eval/harness.h"
+
+namespace fastcoreset {
+
+TrialStats RunTrials(int count, uint64_t base_seed,
+                     const std::function<double(Rng&)>& trial) {
+  TrialStats stats;
+  for (int t = 0; t < count; ++t) {
+    Rng rng(base_seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(t + 1));
+    Timer timer;
+    const double value = trial(rng);
+    stats.seconds.Add(timer.Seconds());
+    stats.value.Add(value);
+  }
+  return stats;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,28 @@
+// Small experiment harness: repeated randomized trials with mean/variance
+// reporting, matching the paper's "mean ± variance over 5 runs" tables.
+
+#ifndef FASTCORESET_EVAL_HARNESS_H_
+#define FASTCORESET_EVAL_HARNESS_H_
+
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/timer.h"
+
+namespace fastcoreset {
+
+/// Result of a repeated measurement.
+struct TrialStats {
+  RunningStat value;    ///< The measured quantity per trial.
+  RunningStat seconds;  ///< Wall-clock per trial.
+};
+
+/// Runs `trial` `count` times with independent deterministic seeds derived
+/// from `base_seed`; `trial` returns the measured value.
+TrialStats RunTrials(int count, uint64_t base_seed,
+                     const std::function<double(Rng&)>& trial);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_EVAL_HARNESS_H_

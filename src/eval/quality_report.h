@@ -1,0 +1,50 @@
+// Structured quality report for a compression: everything a practitioner
+// following the paper's Section 5.5 blueprint would want to inspect before
+// trusting a coreset — distortion, multi-probe distortion, weight error
+// and per-cluster coverage against a reference solution.
+
+#ifndef FASTCORESET_EVAL_QUALITY_REPORT_H_
+#define FASTCORESET_EVAL_QUALITY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/coreset.h"
+#include "src/eval/distortion.h"
+
+namespace fastcoreset {
+
+/// Quality summary of a coreset against its source dataset.
+struct QualityReport {
+  double distortion = 0.0;        ///< Standard coreset distortion.
+  double multi_probe = 0.0;       ///< Max over extra full-data probes.
+  double weight_error = 0.0;      ///< |TotalWeight - W| / W.
+  size_t coreset_size = 0;
+  size_t clusters_total = 0;      ///< Clusters of a reference solution.
+  size_t clusters_covered = 0;    ///< ... with >= 1 coreset point nearby.
+  double min_cluster_mass = 0.0;  ///< Smallest per-cluster coreset weight
+                                  ///< relative to the cluster's true mass.
+
+  /// True iff the compression passes the paper's thresholds
+  /// (distortion <= 5 and every reference cluster covered).
+  bool Passes() const {
+    return distortion <= 5.0 && clusters_covered == clusters_total;
+  }
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Evaluates `coreset` against (points, weights). A reference k-solution
+/// is seeded on the full data to measure per-cluster coverage; the
+/// coreset-derived solution measures distortion. `extra_probes` controls
+/// the multi-probe metric (0 disables it).
+QualityReport EvaluateCoreset(const Matrix& points,
+                              const std::vector<double>& weights,
+                              const Coreset& coreset,
+                              const DistortionOptions& options,
+                              int extra_probes, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_EVAL_QUALITY_REPORT_H_

@@ -1,0 +1,65 @@
+#include "src/geometry/bounding_box.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+
+double BoundingBox::MaxSide() const {
+  double side = 0.0;
+  for (size_t j = 0; j < lo.size(); ++j) side = std::max(side, hi[j] - lo[j]);
+  return side;
+}
+
+double BoundingBox::Diagonal() const {
+  double sum = 0.0;
+  for (size_t j = 0; j < lo.size(); ++j) {
+    const double side = hi[j] - lo[j];
+    sum += side * side;
+  }
+  return std::sqrt(sum);
+}
+
+BoundingBox ComputeBoundingBox(const Matrix& points) {
+  FC_CHECK_GT(points.rows(), 0u);
+  BoundingBox box;
+  box.lo.assign(points.cols(), std::numeric_limits<double>::infinity());
+  box.hi.assign(points.cols(), -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const auto row = points.Row(i);
+    for (size_t j = 0; j < points.cols(); ++j) {
+      box.lo[j] = std::min(box.lo[j], row[j]);
+      box.hi[j] = std::max(box.hi[j], row[j]);
+    }
+  }
+  return box;
+}
+
+double MinNonzeroDistance(const Matrix& points) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points.rows(); ++i) {
+    for (size_t j = i + 1; j < points.rows(); ++j) {
+      const double sq = SquaredL2(points.Row(i), points.Row(j));
+      if (sq > 0.0 && sq < best) best = sq;
+    }
+  }
+  return std::isinf(best) ? 0.0 : std::sqrt(best);
+}
+
+double ComputeSpreadExact(const Matrix& points) {
+  if (points.rows() < 2) return 1.0;
+  const double min_dist = MinNonzeroDistance(points);
+  if (min_dist == 0.0) return 1.0;
+  double max_sq = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    for (size_t j = i + 1; j < points.rows(); ++j) {
+      max_sq = std::max(max_sq, SquaredL2(points.Row(i), points.Row(j)));
+    }
+  }
+  return std::sqrt(max_sq) / min_dist;
+}
+
+}  // namespace fastcoreset

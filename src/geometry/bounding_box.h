@@ -1,0 +1,38 @@
+// Axis-aligned bounding box of a point set, used to anchor quadtree grids
+// and to estimate the spread Δ.
+
+#ifndef FASTCORESET_GEOMETRY_BOUNDING_BOX_H_
+#define FASTCORESET_GEOMETRY_BOUNDING_BOX_H_
+
+#include <vector>
+
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Axis-aligned bounding box.
+struct BoundingBox {
+  std::vector<double> lo;  ///< Per-dimension minimum.
+  std::vector<double> hi;  ///< Per-dimension maximum.
+
+  /// Length of the longest side.
+  double MaxSide() const;
+
+  /// Euclidean length of the box diagonal (an upper bound on the diameter).
+  double Diagonal() const;
+};
+
+/// Computes the bounding box of `points` in O(nd). Requires rows() > 0.
+BoundingBox ComputeBoundingBox(const Matrix& points);
+
+/// Smallest pairwise nonzero distance — exact O(n^2 d); intended for tests
+/// and small inputs only. Returns 0 if all points coincide.
+double MinNonzeroDistance(const Matrix& points);
+
+/// Spread Δ = diameter / smallest nonzero distance (test helper, O(n^2 d)).
+/// Returns 1 for degenerate inputs.
+double ComputeSpreadExact(const Matrix& points);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_GEOMETRY_BOUNDING_BOX_H_

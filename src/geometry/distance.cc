@@ -1,0 +1,60 @@
+#include "src/geometry/distance.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/parallel.h"
+
+namespace fastcoreset {
+
+double SquaredL2(std::span<const double> a, std::span<const double> b) {
+  FC_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double L2(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+double DistPow(std::span<const double> a, std::span<const double> b, int z) {
+  FC_DCHECK(z == 1 || z == 2);
+  const double sq = SquaredL2(a, b);
+  return z == 2 ? sq : std::sqrt(sq);
+}
+
+NearestCenter FindNearestCenter(std::span<const double> point,
+                                const Matrix& centers) {
+  FC_CHECK_GT(centers.rows(), 0u);
+  NearestCenter best;
+  best.sq_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    const double sq = SquaredL2(point, centers.Row(c));
+    if (sq < best.sq_dist) {
+      best.sq_dist = sq;
+      best.index = c;
+    }
+  }
+  return best;
+}
+
+void AssignToNearest(const Matrix& points, const Matrix& centers,
+                     std::vector<size_t>* assignment,
+                     std::vector<double>* sq_dists) {
+  FC_CHECK_EQ(points.cols(), centers.cols());
+  assignment->resize(points.rows());
+  sq_dists->resize(points.rows());
+  ParallelFor(points.rows(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const NearestCenter nearest = FindNearestCenter(points.Row(i), centers);
+      (*assignment)[i] = nearest.index;
+      (*sq_dists)[i] = nearest.sq_dist;
+    }
+  });
+}
+
+}  // namespace fastcoreset

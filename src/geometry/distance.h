@@ -1,0 +1,43 @@
+// Distance kernels. The library works with powers z in {1, 2}:
+// z = 1 is k-median (plain Euclidean distance), z = 2 is k-means
+// (squared Euclidean distance).
+
+#ifndef FASTCORESET_GEOMETRY_DISTANCE_H_
+#define FASTCORESET_GEOMETRY_DISTANCE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Squared Euclidean distance between two equal-length vectors.
+double SquaredL2(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean distance between two equal-length vectors.
+double L2(std::span<const double> a, std::span<const double> b);
+
+/// dist^z for z in {1, 2}.
+double DistPow(std::span<const double> a, std::span<const double> b, int z);
+
+/// Result of a nearest-center query.
+struct NearestCenter {
+  size_t index = 0;     ///< Row index of the nearest center.
+  double sq_dist = 0.;  ///< Squared Euclidean distance to it.
+};
+
+/// Nearest row of `centers` to `point` (brute force over centers).
+NearestCenter FindNearestCenter(std::span<const double> point,
+                                const Matrix& centers);
+
+/// For every row of `points`, the nearest row of `centers`.
+/// Writes assignment indices and squared distances (vectors are resized).
+void AssignToNearest(const Matrix& points, const Matrix& centers,
+                     std::vector<size_t>* assignment,
+                     std::vector<double>* sq_dists);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_GEOMETRY_DISTANCE_H_

@@ -1,0 +1,42 @@
+#include "src/geometry/matrix.h"
+
+#include <algorithm>
+
+namespace fastcoreset {
+
+void Matrix::CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row) {
+  FC_CHECK_EQ(src.cols(), cols_);
+  FC_CHECK(src_row < src.rows() && dst_row < rows_);
+  std::copy_n(src.data_.data() + src_row * cols_, cols_,
+              data_.data() + dst_row * cols_);
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out.CopyRowFrom(*this, indices[i], i);
+  }
+  return out;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (other.empty()) return;
+  if (rows_ == 0 && cols_ == 0) cols_ = other.cols();
+  FC_CHECK_EQ(other.cols(), cols_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+std::vector<double> Matrix::ColumnMeans() const {
+  FC_CHECK_GT(rows_, 0u);
+  std::vector<double> means(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = data_.data() + i * cols_;
+    for (size_t j = 0; j < cols_; ++j) means[j] += row[j];
+  }
+  const double inv = 1.0 / static_cast<double>(rows_);
+  for (double& m : means) m *= inv;
+  return means;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,79 @@
+// Dense row-major point matrix: the dataset representation used across the
+// library. Rows are points, columns are features. Double precision.
+
+#ifndef FASTCORESET_GEOMETRY_MATRIX_H_
+#define FASTCORESET_GEOMETRY_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace fastcoreset {
+
+/// Dense n x d row-major matrix of doubles. Points are rows.
+class Matrix {
+ public:
+  /// Empty 0 x 0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Wraps existing data (size must equal rows * cols).
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    FC_CHECK_EQ(data_.size(), rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double& At(size_t i, size_t j) {
+    FC_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double At(size_t i, size_t j) const {
+    FC_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Mutable view of row i.
+  std::span<double> Row(size_t i) {
+    FC_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  /// Read-only view of row i.
+  std::span<const double> Row(size_t i) const {
+    FC_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copies row `src_row` of `src` into row `dst_row` of this matrix.
+  void CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row);
+
+  /// Returns a matrix holding the selected rows, in order.
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Appends all rows of `other` (column counts must match; an empty
+  /// matrix adopts other's column count).
+  void AppendRows(const Matrix& other);
+
+  /// Mean of all rows (the 1-mean / centroid). Requires rows() > 0.
+  std::vector<double> ColumnMeans() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_GEOMETRY_MATRIX_H_

@@ -1,0 +1,131 @@
+#include "src/geometry/quadtree.h"
+
+#include <cmath>
+
+#include "src/geometry/bounding_box.h"
+
+namespace fastcoreset {
+
+Quadtree::Quadtree(const Matrix& points, Rng& rng,
+                   const QuadtreeOptions& options)
+    : max_depth_(options.max_depth), full_depth_(options.full_depth) {
+  FC_CHECK_GT(points.rows(), 0u);
+  FC_CHECK_GE(max_depth_, 1);
+
+  const BoundingBox box = ComputeBoundingBox(points);
+  double base = box.MaxSide();
+  if (base <= 0.0) base = 1.0;  // All points coincide; any grid works.
+  root_side_ = 2.0 * base;
+
+  // Shift each grid origin below the bounding box by a uniform offset in
+  // [0, base). Every point then lies in [s_i, s_i + root_side), and the
+  // offset is uniform modulo the cell side at every level >= 1, which is
+  // what the separation probability of Lemma 4.3 / Lemma 2.2 needs.
+  shift_.resize(points.cols());
+  for (size_t j = 0; j < points.cols(); ++j) {
+    shift_[j] = box.lo[j] - rng.Uniform(0.0, base);
+  }
+
+  Node root;
+  root.level = 0;
+  root.parent = -1;
+  nodes_.push_back(root);
+
+  leaf_of_point_.assign(points.rows(), 0);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    InsertFrom(0, static_cast<uint32_t>(i), points);
+  }
+  build_map_.clear();
+}
+
+double Quadtree::CellSide(int level) const {
+  return root_side_ * std::pow(0.5, level);
+}
+
+double Quadtree::TreeDistanceAtLevel(int level) const {
+  // Geometric sum of the down-path edge lengths (sqrt(d) * cell side per
+  // level) on both sides of the LCA.
+  return 2.0 * std::sqrt(static_cast<double>(dim())) * CellSide(level);
+}
+
+int Quadtree::LcaLevel(size_t point_a, size_t point_b) const {
+  int32_t a = leaf_of_point_[point_a];
+  int32_t b = leaf_of_point_[point_b];
+  if (a == b) return max_depth_;
+  while (nodes_[a].level > nodes_[b].level) a = nodes_[a].parent;
+  while (nodes_[b].level > nodes_[a].level) b = nodes_[b].parent;
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  return nodes_[a].level;
+}
+
+double Quadtree::TreeDistance(size_t point_a, size_t point_b) const {
+  if (leaf_of_point_[point_a] == leaf_of_point_[point_b]) {
+    // Co-located at max depth: the tree cannot distinguish them.
+    return 0.0;
+  }
+  return TreeDistanceAtLevel(LcaLevel(point_a, point_b));
+}
+
+void Quadtree::CellCoords(std::span<const double> point, int level,
+                          std::vector<int64_t>* coords) const {
+  const double inv_side = std::pow(2.0, level) / root_side_;
+  coords->resize(point.size());
+  for (size_t j = 0; j < point.size(); ++j) {
+    (*coords)[j] =
+        static_cast<int64_t>(std::floor((point[j] - shift_[j]) * inv_side));
+  }
+}
+
+int32_t Quadtree::GetOrCreateChild(int32_t parent_id,
+                                   std::span<const double> point) {
+  const int child_level = nodes_[parent_id].level + 1;
+  std::vector<int64_t> coords;
+  CellCoords(point, child_level, &coords);
+  const CellKey key = HashCell(child_level, coords);
+  auto [it, inserted] = build_map_.try_emplace(
+      key, static_cast<int32_t>(nodes_.size()));
+  if (inserted) {
+    Node child;
+    child.level = child_level;
+    child.parent = parent_id;
+    nodes_.push_back(child);  // May reallocate; take references after this.
+    nodes_[parent_id].children.push_back(it->second);
+  }
+  return it->second;
+}
+
+void Quadtree::InsertFrom(int32_t start, uint32_t point_idx,
+                          const Matrix& points) {
+  int32_t v = start;
+  while (true) {
+    if (nodes_[v].is_leaf) {
+      // Adaptive mode parks a point in the first empty cell it reaches;
+      // full-depth mode always descends to max_depth (the paper's
+      // non-adaptive embedding cost).
+      if (nodes_[v].level == max_depth_ ||
+          (!full_depth_ && nodes_[v].points.empty())) {
+        nodes_[v].points.push_back(point_idx);
+        leaf_of_point_[point_idx] = v;
+        return;
+      }
+      // Occupied leaf above max depth: split it by pushing its points one
+      // level down, then retry the insertion from the same (now internal)
+      // node. Recursion descends at least one level per call, so its depth
+      // is bounded by max_depth_.
+      std::vector<uint32_t> moved;
+      moved.swap(nodes_[v].points);
+      nodes_[v].is_leaf = false;
+      for (uint32_t q : moved) {
+        const int32_t child = GetOrCreateChild(v, points.Row(q));
+        InsertFrom(child, q, points);
+      }
+      continue;
+    }
+    v = GetOrCreateChild(v, points.Row(point_idx));
+  }
+}
+
+}  // namespace fastcoreset

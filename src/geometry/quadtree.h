@@ -1,0 +1,118 @@
+// Randomly-shifted quadtree over a Euclidean point set (Section 2.4).
+//
+// The tree induces a hierarchically separated tree (HST) metric: the
+// distance between two points is a function of the level of their lowest
+// common ancestor cell, and dominates their Euclidean distance (Lemma 2.2:
+// the expected tree distance is within O(d log Δ) of the true one).
+//
+// Construction is insertion-based: each point descends from the root,
+// splitting leaf cells as they become shared, until a cell holds a single
+// point or `max_depth` is reached. Cells are stored sparsely and identified
+// by 128-bit coordinate hashes, so memory is proportional to the number of
+// *occupied* cells, never 2^d.
+
+#ifndef FASTCORESET_GEOMETRY_QUADTREE_H_
+#define FASTCORESET_GEOMETRY_QUADTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geometry/cell_hash.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Construction options.
+struct QuadtreeOptions {
+  /// Cap on the tree height; points still sharing a cell at max_depth are
+  /// treated as co-located in the tree metric.
+  int max_depth = 30;
+  /// When false (default, adaptive): a cell stops splitting once it holds
+  /// a single point, so depth — and cost — adapt to the local geometry.
+  /// When true: every point descends to max_depth, reproducing the
+  /// O(nd log Δ) construction cost of the non-adaptive embedding the
+  /// paper's Table 1 measures.
+  bool full_depth = false;
+};
+
+/// Randomly-shifted quadtree / HST embedding of a point set.
+class Quadtree {
+ public:
+  /// Tree node: an occupied grid cell at some level.
+  struct Node {
+    int32_t level = 0;    ///< Depth; root is level 0 with side root_side().
+    int32_t parent = -1;  ///< Node id of the parent cell (-1 for the root).
+    bool is_leaf = true;
+    std::vector<int32_t> children;  ///< Ids of occupied child cells.
+    std::vector<uint32_t> points;   ///< Point indices (leaves only).
+  };
+
+  /// Builds the tree over `points` with a fresh uniform random shift.
+  Quadtree(const Matrix& points, Rng& rng, const QuadtreeOptions& options);
+
+  /// Convenience: adaptive tree with the given depth cap.
+  Quadtree(const Matrix& points, Rng& rng, int max_depth = 30)
+      : Quadtree(points, rng, QuadtreeOptions{max_depth, false}) {}
+
+  Quadtree(const Quadtree&) = delete;
+  Quadtree& operator=(const Quadtree&) = delete;
+
+  size_t num_points() const { return leaf_of_point_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  int max_depth() const { return max_depth_; }
+  size_t dim() const { return shift_.size(); }
+
+  int32_t root() const { return 0; }
+  const Node& node(int32_t id) const { return nodes_[id]; }
+
+  /// Leaf cell containing point `point_idx`.
+  int32_t LeafOfPoint(size_t point_idx) const {
+    return leaf_of_point_[point_idx];
+  }
+
+  /// Side length of cells at `level`: root_side / 2^level.
+  double CellSide(int level) const;
+
+  /// Side length of the root cell.
+  double root_side() const { return root_side_; }
+
+  /// Random shift vector used to anchor the grid.
+  const std::vector<double>& shift() const { return shift_; }
+
+  /// HST distance between two points whose lowest common ancestor sits at
+  /// `level`: twice the diagonal of a level-`level` cell (the length of the
+  /// down-paths on both sides, geometrically summed). Dominates the
+  /// Euclidean distance between any two points separated at that level.
+  double TreeDistanceAtLevel(int level) const;
+
+  /// Level of the lowest common ancestor of two points (max_depth if they
+  /// share a leaf). Walks parent pointers: O(depth).
+  int LcaLevel(size_t point_a, size_t point_b) const;
+
+  /// Tree-metric distance between two points.
+  double TreeDistance(size_t point_a, size_t point_b) const;
+
+ private:
+  /// Inserts a point, starting the descent at node `start`.
+  void InsertFrom(int32_t start, uint32_t point_idx, const Matrix& points);
+  /// Integer cell coordinates of a point at `level`.
+  void CellCoords(std::span<const double> point, int level,
+                  std::vector<int64_t>* coords) const;
+  int32_t GetOrCreateChild(int32_t parent_id, std::span<const double> point);
+
+  int max_depth_;
+  bool full_depth_;
+  double root_side_ = 1.0;
+  std::vector<double> shift_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> leaf_of_point_;
+  // Transient during construction: (level, coords) hash -> node id.
+  std::unordered_map<CellKey, int32_t, CellKeyHash> build_map_;
+};
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_GEOMETRY_QUADTREE_H_

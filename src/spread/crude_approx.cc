@@ -1,0 +1,88 @@
+#include "src/spread/crude_approx.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/geometry/bounding_box.h"
+#include "src/geometry/cell_hash.h"
+
+namespace fastcoreset {
+
+size_t CountDistinctCells(const Matrix& points,
+                          const std::vector<double>& shift,
+                          double cell_side) {
+  FC_CHECK_GT(cell_side, 0.0);
+  FC_CHECK_EQ(shift.size(), points.cols());
+  std::unordered_set<CellKey, CellKeyHash> cells;
+  std::vector<int64_t> coords(points.cols());
+  const double inv_side = 1.0 / cell_side;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const auto row = points.Row(i);
+    for (size_t j = 0; j < points.cols(); ++j) {
+      coords[j] =
+          static_cast<int64_t>(std::floor((row[j] - shift[j]) * inv_side));
+    }
+    cells.insert(HashCell(0, coords));
+  }
+  return cells.size();
+}
+
+CrudeApproxResult CrudeApprox(const Matrix& points, size_t k, Rng& rng) {
+  FC_CHECK_GT(points.rows(), 0u);
+  FC_CHECK_GT(k, 0u);
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+
+  const BoundingBox box = ComputeBoundingBox(points);
+  double base = box.MaxSide();
+  if (base <= 0.0) {
+    // All points coincide: OPT = 0 for any k >= 1.
+    return CrudeApproxResult{0.0, 0.0, -1, 0};
+  }
+  const double root_side = 2.0 * base;
+
+  std::vector<double> shift(d);
+  for (size_t j = 0; j < d; ++j) shift[j] = box.lo[j] - rng.Uniform(0.0, base);
+
+  CrudeApproxResult result;
+  auto count_at_level = [&](int level) {
+    ++result.probes;
+    return CountDistinctCells(points, shift, root_side * std::pow(0.5, level));
+  };
+
+  // Cell counts are monotone non-decreasing in the level (dyadic grids with
+  // a common shift nest), so exponential + binary search applies. Level 60
+  // keeps the integer cell coordinates well inside int64 range.
+  constexpr int kMaxLevel = 60;
+  if (count_at_level(kMaxLevel) < k + 1) {
+    // At most k distinct micro-cells: treat the instance as having <= k
+    // distinct locations, i.e. OPT ~ 0.
+    return CrudeApproxResult{0.0, 0.0, -1, result.probes};
+  }
+
+  // Exponential search for an upper bracket: first power-of-two level with
+  // >= k+1 occupied cells. O(log split_level) = O(log log Δ) probes.
+  int hi = 1;
+  while (hi < kMaxLevel && count_at_level(hi) < k + 1) hi *= 2;
+  if (hi > kMaxLevel) hi = kMaxLevel;
+  int lo = hi / 2;  // count(lo) < k+1 (or lo == 0).
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (count_at_level(mid) >= k + 1) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  const int split_level = hi;
+  const double sqrt_d = std::sqrt(static_cast<double>(d));
+  const double scale = sqrt_d * root_side * std::pow(0.5, split_level);
+  result.split_level = split_level;
+  // Lemma 4.1 with Δ-scale = root_side: OPT_T in [2 * scale, 16 n * scale].
+  result.lower_bound = 2.0 * scale;
+  result.upper_bound = 16.0 * static_cast<double>(n) * scale;
+  return result;
+}
+
+}  // namespace fastcoreset

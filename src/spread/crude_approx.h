@@ -1,0 +1,46 @@
+// Crude-Approx (Algorithm 2): an O(nd log log Δ) estimate U of the optimal
+// k-median cost with OPT <= U <= poly(n, d, log Δ) * OPT.
+//
+// Idea (Lemma 4.1): in a randomly-shifted quadtree, the first (coarsest)
+// level at which the input occupies at least k+1 distinct cells pins down
+// OPT in the tree metric within a factor O(n). Counting occupied cells at
+// one level is a single O(nd) dictionary pass, and the level is found by
+// binary search over the O(log Δ) levels — hence log log Δ probes.
+
+#ifndef FASTCORESET_SPREAD_CRUDE_APPROX_H_
+#define FASTCORESET_SPREAD_CRUDE_APPROX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Result of the crude cost estimation.
+struct CrudeApproxResult {
+  /// Upper bound on the optimal k-median cost (0 if the input has at most
+  /// k distinct cells even at the finest probed level, i.e. OPT ~ 0).
+  double upper_bound = 0.0;
+  /// Lower bound companion from Lemma 4.1 (0 in the degenerate case).
+  double lower_bound = 0.0;
+  /// First level (0 = coarsest, side = diameter-scale) with >= k+1
+  /// occupied cells; -1 in the degenerate case.
+  int split_level = -1;
+  /// Number of level-count probes performed (tests the log log Δ claim).
+  int probes = 0;
+};
+
+/// Number of distinct occupied grid cells of side `cell_side` under grid
+/// offset `shift` (one O(nd) pass; exposed for tests and reuse).
+size_t CountDistinctCells(const Matrix& points,
+                          const std::vector<double>& shift, double cell_side);
+
+/// Runs Crude-Approx for k-median on `points`. The k-means bound follows
+/// by Lemma 8.1 as n * upper_bound^2.
+CrudeApproxResult CrudeApprox(const Matrix& points, size_t k, Rng& rng);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SPREAD_CRUDE_APPROX_H_

@@ -1,0 +1,112 @@
+#include "src/spread/reduce_spread.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/geometry/cell_hash.h"
+
+namespace fastcoreset {
+
+SpreadReduction ReduceSpread(const Matrix& points, double cost_upper_bound,
+                             double log_spread_hint, Rng& rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  FC_CHECK_GT(n, 0u);
+
+  SpreadReduction out;
+  out.points = points;
+  if (cost_upper_bound <= 0.0) {
+    // Degenerate instance (<= k distinct locations): nothing to reduce.
+    out.box_of_point.assign(n, 0);
+    out.box_shift = Matrix(1, d);
+    out.num_boxes = 1;
+    return out;
+  }
+
+  const double nd = static_cast<double>(n);
+  const double dd = static_cast<double>(d);
+  const double r = std::sqrt(dd) * nd * nd * cost_upper_bound;
+  out.box_side = r;
+
+  // --- Step 1: diameter reduction. -------------------------------------
+  std::vector<double> shift(d);
+  for (size_t j = 0; j < d; ++j) shift[j] = rng.Uniform(0.0, r);
+
+  // Bucket points into boxes of side r.
+  std::unordered_map<CellKey, size_t, CellKeyHash> box_ids;
+  out.box_of_point.resize(n);
+  std::vector<std::vector<int64_t>> box_coords;
+  std::vector<int64_t> coords(d);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = points.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      coords[j] = static_cast<int64_t>(std::floor((row[j] - shift[j]) / r));
+    }
+    const CellKey key = HashCell(0, coords);
+    auto [it, inserted] = box_ids.try_emplace(key, box_coords.size());
+    if (inserted) box_coords.push_back(coords);
+    out.box_of_point[i] = it->second;
+  }
+  out.num_boxes = box_coords.size();
+  out.box_shift = Matrix(out.num_boxes, d);
+
+  // Per dimension: sort boxes by their integer coordinate and close every
+  // gap larger than 2r (leaving exactly 2r so non-adjacent boxes stay
+  // non-adjacent, Proposition 4.4).
+  std::vector<size_t> order(out.num_boxes);
+  for (size_t j = 0; j < d; ++j) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return box_coords[a][j] < box_coords[b][j];
+    });
+    double delta = 0.0;
+    for (size_t rank = 1; rank < order.size(); ++rank) {
+      // Box centers along dim j sit at (coord + 0.5) * r (+ shift); the
+      // center gap is the coordinate difference times r.
+      const double gap = static_cast<double>(box_coords[order[rank]][j] -
+                                             box_coords[order[rank - 1]][j]) *
+                         r;
+      if (gap >= 2.0 * r) delta += gap - 2.0 * r;
+      out.box_shift.At(order[rank], j) = delta;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    auto row = out.points.Row(i);
+    const auto box = out.box_shift.Row(out.box_of_point[i]);
+    for (size_t j = 0; j < d; ++j) row[j] -= box[j];
+  }
+
+  // --- Step 2: minimum-distance reduction (rounding). ------------------
+  const double log_spread = std::max(1.0, log_spread_hint);
+  const double g =
+      cost_upper_bound / (nd * nd * nd * nd * dd * dd * log_spread);
+  if (g > 0.0 && std::isfinite(g)) {
+    out.grid_size = g;
+    for (double& x : out.points.data()) x = std::round(x / g) * g;
+  }
+  return out;
+}
+
+Matrix RestoreCenters(const SpreadReduction& reduction,
+                      const Matrix& reduced_centers,
+                      const std::vector<size_t>& assignment) {
+  Matrix restored = reduced_centers;
+  const size_t k = reduced_centers.rows();
+  std::vector<bool> done(k, false);
+  size_t remaining = k;
+  for (size_t i = 0; i < assignment.size() && remaining > 0; ++i) {
+    const size_t c = assignment[i];
+    if (c >= k || done[c]) continue;
+    done[c] = true;
+    --remaining;
+    auto row = restored.Row(c);
+    const auto box = reduction.box_shift.Row(reduction.box_of_point[i]);
+    for (size_t j = 0; j < restored.cols(); ++j) row[j] += box[j];
+  }
+  return restored;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,58 @@
+// Reduce-Spread (Algorithm 3): rebuilds the dataset so its spread is
+// poly(n, d, log Δ) while preserving the cost of every reasonable solution
+// up to ±OPT/n (Lemma 4.5 / Theorem 4.6).
+//
+// Two steps, both O(nd):
+//   1. Diameter reduction — bucket points into a randomly-shifted grid of
+//      side r = sqrt(d) n^2 U (no optimal cluster straddles two cells,
+//      w.h.p., by Lemma 4.3), then translate the occupied boxes toward one
+//      another along every axis until consecutive box centers are within
+//      2r. Intra-box geometry is untouched; inter-box gaps shrink.
+//   2. Minimum-distance reduction — snap every coordinate to the grid
+//      g = U / (n^4 d^2 log Δ), so the smallest nonzero distance is >= g.
+//
+// The transformation keeps a per-point correspondence with the input (the
+// output is the same point list, shifted and rounded), records each box's
+// translation, and can map solutions back to the original space.
+
+#ifndef FASTCORESET_SPREAD_REDUCE_SPREAD_H_
+#define FASTCORESET_SPREAD_REDUCE_SPREAD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Output of Reduce-Spread. Point i of `points` corresponds to point i of
+/// the input; coresets sampled from `points` are valid for the input after
+/// mapping weights/indices 1:1 (Theorem 4.6).
+struct SpreadReduction {
+  Matrix points;                    ///< Transformed dataset.
+  std::vector<size_t> box_of_point; ///< Grid box of every input point.
+  Matrix box_shift;                 ///< Per-box translation (subtracted).
+  double grid_size = 0.0;           ///< Rounding grid g (0 = no rounding).
+  double box_side = 0.0;            ///< Grid side r used for the boxes.
+  size_t num_boxes = 0;
+};
+
+/// Runs both Reduce-Spread steps. `cost_upper_bound` is the U returned by
+/// CrudeApprox (k-median scale). `log_spread_hint` is an upper estimate of
+/// log2 of the input spread, used only to size the rounding grid; pass 64
+/// if unknown. If cost_upper_bound == 0 the input is returned unchanged.
+SpreadReduction ReduceSpread(const Matrix& points, double cost_upper_bound,
+                             double log_spread_hint, Rng& rng);
+
+/// Maps centers found on the reduced dataset back to the original space:
+/// each center is translated by the shift of the box that contributed its
+/// assigned points (first assigned point wins; reasonable solutions never
+/// straddle boxes). Centers with no assigned points are left unchanged.
+Matrix RestoreCenters(const SpreadReduction& reduction,
+                      const Matrix& reduced_centers,
+                      const std::vector<size_t>& assignment);
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SPREAD_REDUCE_SPREAD_H_

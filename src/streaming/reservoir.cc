@@ -1,0 +1,95 @@
+#include "src/streaming/reservoir.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastcoreset {
+
+WeightedReservoir::WeightedReservoir(size_t m, size_t dim, Rng* rng)
+    : capacity_(m), dim_(dim), rng_(rng) {
+  FC_CHECK_GT(capacity_, 0u);
+  FC_CHECK_GT(dim_, 0u);
+  FC_CHECK(rng_ != nullptr);
+  entries_.reserve(capacity_);
+}
+
+void WeightedReservoir::DrawSkipBudget() {
+  // A-ExpJ: the weight to skip before the next replacement is
+  // log(u) / log(T_w) where T_w is the smallest key in the reservoir.
+  const double threshold = entries_.front().key;
+  if (threshold <= 0.0 || threshold >= 1.0) {
+    skip_budget_ = 0.0;  // Degenerate; fall back to per-item processing.
+    return;
+  }
+  double u = 0.0;
+  while (u <= 1e-300) u = rng_->NextDouble();
+  skip_budget_ = std::log(u) / std::log(threshold);
+}
+
+void WeightedReservoir::Offer(std::span<const double> point, double weight) {
+  FC_CHECK_EQ(point.size(), dim_);
+  FC_CHECK_GT(weight, 0.0);
+  const size_t index = stream_index_++;
+  stream_weight_ += weight;
+
+  auto key_greater = [](const Entry& a, const Entry& b) {
+    return a.key > b.key;
+  };
+
+  if (entries_.size() < capacity_) {
+    Entry entry;
+    double u = 0.0;
+    while (u <= 1e-300) u = rng_->NextDouble();
+    entry.key = std::pow(u, 1.0 / weight);
+    entry.stream_index = index;
+    entry.weight = weight;
+    entry.point.assign(point.begin(), point.end());
+    entries_.push_back(std::move(entry));
+    std::push_heap(entries_.begin(), entries_.end(), key_greater);
+    if (entries_.size() == capacity_) DrawSkipBudget();
+    return;
+  }
+
+  skip_budget_ -= weight;
+  if (skip_budget_ > 0.0) return;  // Item skipped in O(1).
+
+  // Replace the minimum-key entry. The new key is drawn conditioned on
+  // beating the old threshold: t = T_w^w, key = Uniform(t, 1)^(1/w).
+  const double threshold = entries_.front().key;
+  const double floor_key = std::pow(threshold, weight);
+  const double r = rng_->Uniform(floor_key, 1.0);
+  std::pop_heap(entries_.begin(), entries_.end(), key_greater);
+  Entry& slot = entries_.back();
+  slot.key = std::pow(std::max(r, 1e-300), 1.0 / weight);
+  slot.stream_index = index;
+  slot.weight = weight;
+  slot.point.assign(point.begin(), point.end());
+  std::push_heap(entries_.begin(), entries_.end(), key_greater);
+  DrawSkipBudget();
+}
+
+void WeightedReservoir::OfferAll(const Matrix& batch,
+                                 const std::vector<double>& weights) {
+  FC_CHECK(weights.empty() || weights.size() == batch.rows());
+  for (size_t i = 0; i < batch.rows(); ++i) {
+    Offer(batch.Row(i), weights.empty() ? 1.0 : weights[i]);
+  }
+}
+
+Coreset WeightedReservoir::Extract() const {
+  Coreset coreset;
+  coreset.points = Matrix(entries_.size(), dim_);
+  coreset.indices.reserve(entries_.size());
+  const double per_point =
+      entries_.empty() ? 0.0
+                       : stream_weight_ / static_cast<double>(entries_.size());
+  for (size_t r = 0; r < entries_.size(); ++r) {
+    auto row = coreset.points.Row(r);
+    for (size_t j = 0; j < dim_; ++j) row[j] = entries_[r].point[j];
+    coreset.indices.push_back(entries_[r].stream_index);
+    coreset.weights.push_back(per_point);
+  }
+  return coreset;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,75 @@
+// One-pass weighted reservoir sampling (A-ExpJ, Efraimidis & Spirakis'06).
+//
+// Merge-&-reduce realizes streaming *uniform* sampling by composing
+// per-block samples; the classical alternative is a reservoir that keeps
+// exactly m points of the stream, each present with probability
+// proportional to its weight, in a single pass with O(m) memory and no
+// re-sampling cascades. The paper's Section 5.4 observes that
+// merge-&-reduce imposes non-uniformity that can accidentally *help* on
+// outlier-heavy streams; the reservoir is the exact-uniform reference
+// point for that comparison (see bench_ablations).
+//
+// Each item receives key u^(1/w) (u uniform); the m largest keys win.
+// A-ExpJ accelerates this with exponential jumps: the sampler skips ahead
+// by a weight budget instead of drawing a key per item.
+
+#ifndef FASTCORESET_STREAMING_RESERVOIR_H_
+#define FASTCORESET_STREAMING_RESERVOIR_H_
+
+#include <queue>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/coreset.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+
+/// Fixed-capacity weighted reservoir over a point stream.
+class WeightedReservoir {
+ public:
+  /// Reservoir of capacity m over d-dimensional points.
+  WeightedReservoir(size_t m, size_t dim, Rng* rng);
+
+  /// Offers one stream element (weight > 0).
+  void Offer(std::span<const double> point, double weight = 1.0);
+
+  /// Offers every row of a batch (weights may be empty = unit).
+  void OfferAll(const Matrix& batch, const std::vector<double>& weights = {});
+
+  /// Number of elements currently held (<= capacity).
+  size_t size() const { return entries_.size(); }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Total stream weight seen so far.
+  double StreamWeight() const { return stream_weight_; }
+
+  /// Snapshot as a coreset: the held points, each re-weighted to
+  /// StreamWeight() / size() (the uniform-sample estimator). Indices are
+  /// stream positions.
+  Coreset Extract() const;
+
+ private:
+  struct Entry {
+    double key;  ///< u^(1/w); the reservoir keeps the m largest.
+    size_t stream_index;
+    double weight;
+    std::vector<double> point;
+  };
+
+  /// Draws the next skip budget from the current threshold key.
+  void DrawSkipBudget();
+
+  size_t capacity_;
+  size_t dim_;
+  Rng* rng_;
+  size_t stream_index_ = 0;
+  double stream_weight_ = 0.0;
+  double skip_budget_ = -1.0;  ///< Remaining weight to skip (A-ExpJ jump).
+  std::vector<Entry> entries_;  ///< Maintained as a min-heap on key.
+};
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_STREAMING_RESERVOIR_H_

@@ -1,0 +1,336 @@
+// Tests for src/clustering: cost, k-means++, Fast-kmeans++, Lloyd,
+// k-median / Weiszfeld.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/fast_kmeans_plus_plus.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/kmedian.h"
+#include "src/clustering/lloyd.h"
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+namespace {
+
+/// `blobs` well-separated unit-variance Gaussian blobs in d dims.
+Matrix SeparatedBlobs(size_t blobs, size_t per_blob, size_t d, Rng& rng,
+                      double separation = 100.0) {
+  Matrix points(blobs * per_blob, d);
+  std::vector<double> center(d);
+  size_t row_idx = 0;
+  for (size_t b = 0; b < blobs; ++b) {
+    for (double& x : center) x = rng.Uniform(0.0, separation * blobs);
+    for (size_t p = 0; p < per_blob; ++p) {
+      auto row = points.Row(row_idx++);
+      for (size_t j = 0; j < d; ++j) row[j] = center[j] + rng.NextGaussian();
+    }
+  }
+  return points;
+}
+
+TEST(CostTest, CostToCentersHandMade) {
+  Matrix points(2, 1);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 4.0;
+  Matrix centers(1, 1);
+  centers.At(0, 0) = 1.0;
+  EXPECT_NEAR(CostToCenters(points, {}, centers, 2), 1.0 + 9.0, 1e-12);
+  EXPECT_NEAR(CostToCenters(points, {}, centers, 1), 1.0 + 3.0, 1e-12);
+  EXPECT_NEAR(CostToCenters(points, {2.0, 1.0}, centers, 2), 2.0 + 9.0,
+              1e-12);
+}
+
+TEST(CostTest, AssignmentCostAtLeastNearestCost) {
+  Rng rng(1);
+  Matrix points(20, 2);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 10.0);
+  Matrix centers(3, 2);
+  for (double& x : centers.data()) x = rng.Uniform(0.0, 10.0);
+  // Deliberately bad assignment: everything to center 0.
+  const std::vector<size_t> all_zero(20, 0);
+  EXPECT_GE(AssignmentCost(points, {}, centers, all_zero, 2),
+            CostToCenters(points, {}, centers, 2) - 1e-9);
+}
+
+TEST(CostTest, RefreshAssignmentComputesNearest) {
+  Matrix points(3, 1);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 10.0;
+  points.At(2, 0) = 11.0;
+  Clustering clustering;
+  clustering.z = 2;
+  clustering.centers = Matrix(2, 1);
+  clustering.centers.At(0, 0) = 0.0;
+  clustering.centers.At(1, 0) = 10.0;
+  RefreshAssignment(points, {}, &clustering);
+  EXPECT_EQ(clustering.assignment[0], 0u);
+  EXPECT_EQ(clustering.assignment[1], 1u);
+  EXPECT_EQ(clustering.assignment[2], 1u);
+  EXPECT_NEAR(clustering.total_cost, 1.0, 1e-12);
+}
+
+TEST(KMeansPlusPlusTest, RecoverSeparatedBlobs) {
+  Rng rng(2);
+  const Matrix points = SeparatedBlobs(5, 100, 3, rng);
+  const Clustering result = KMeansPlusPlus(points, {}, 5, 2, rng);
+  EXPECT_EQ(result.centers.rows(), 5u);
+  // With separation 500 >> intra-blob sigma 1, cost should be ~ n * d.
+  EXPECT_LT(result.total_cost, 500.0 * 3 * 20.0);
+  // Every blob got a center: max point cost stays intra-blob.
+  for (double c : result.point_costs) EXPECT_LT(c, 200.0);
+}
+
+TEST(KMeansPlusPlusTest, AssignmentIsNearestCenter) {
+  Rng rng(3);
+  const Matrix points = SeparatedBlobs(3, 50, 2, rng);
+  const Clustering result = KMeansPlusPlus(points, {}, 3, 2, rng);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const NearestCenter nearest =
+        FindNearestCenter(points.Row(i), result.centers);
+    EXPECT_NEAR(result.point_costs[i], nearest.sq_dist, 1e-9);
+  }
+}
+
+TEST(KMeansPlusPlusTest, KGreaterThanNReturnsAllPoints) {
+  Rng rng(4);
+  Matrix points(4, 2);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 1.0);
+  const Clustering result = KMeansPlusPlus(points, {}, 10, 2, rng);
+  EXPECT_EQ(result.centers.rows(), 4u);
+  EXPECT_NEAR(result.total_cost, 0.0, 1e-9);
+}
+
+TEST(KMeansPlusPlusTest, WeightsBiasSeeding) {
+  // Two distant locations; one has overwhelming weight. The first center
+  // lands there almost surely.
+  Matrix points(2, 1);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 100.0;
+  int first_heavy = 0;
+  for (int t = 0; t < 200; ++t) {
+    Rng rng(500 + t);
+    const Clustering result =
+        KMeansPlusPlus(points, {1e6, 1.0}, 1, 2, rng);
+    if (std::abs(result.centers.At(0, 0)) < 1.0) ++first_heavy;
+  }
+  EXPECT_GT(first_heavy, 195);
+}
+
+TEST(KMeansPlusPlusTest, KMedianVariantRuns) {
+  Rng rng(5);
+  const Matrix points = SeparatedBlobs(4, 50, 2, rng);
+  const Clustering result = KMeansPlusPlus(points, {}, 4, 1, rng);
+  EXPECT_EQ(result.z, 1);
+  EXPECT_EQ(result.centers.rows(), 4u);
+  for (double c : result.point_costs) EXPECT_LT(c, 50.0);  // dist, not sq.
+}
+
+// D^2 seeding is an O(log k) approximation in expectation; check a crude
+// constant-factor version against a planted optimal on easy data.
+TEST(KMeansPlusPlusTest, CostWithinLogFactorOfPlanted) {
+  Rng rng(6);
+  const size_t blobs = 8, per = 80, d = 4;
+  const Matrix points = SeparatedBlobs(blobs, per, d, rng);
+  // Planted solution: blob means.
+  Matrix planted(blobs, d);
+  for (size_t b = 0; b < blobs; ++b) {
+    std::vector<size_t> rows(per);
+    for (size_t p = 0; p < per; ++p) rows[p] = b * per + p;
+    const Matrix blob = points.SelectRows(rows);
+    const auto mean = blob.ColumnMeans();
+    for (size_t j = 0; j < d; ++j) planted.At(b, j) = mean[j];
+  }
+  const double planted_cost = CostToCenters(points, {}, planted, 2);
+
+  double total = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng(700 + t);
+    total += KMeansPlusPlus(points, {}, blobs, 2, trial_rng).total_cost;
+  }
+  EXPECT_LT(total / trials, 30.0 * planted_cost);
+}
+
+TEST(FastKMeansPlusPlusTest, ProducesValidAssignments) {
+  Rng rng(7);
+  const Matrix points = SeparatedBlobs(5, 100, 3, rng);
+  FastKMeansPlusPlusOptions options;
+  const Clustering result = FastKMeansPlusPlus(points, {}, 5, options, rng);
+  EXPECT_EQ(result.centers.rows(), 5u);
+  ASSERT_EQ(result.assignment.size(), points.rows());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    ASSERT_LT(result.assignment[i], result.centers.rows());
+    EXPECT_NEAR(result.point_costs[i],
+                SquaredL2(points.Row(i),
+                          result.centers.Row(result.assignment[i])),
+                1e-9);
+  }
+}
+
+TEST(FastKMeansPlusPlusTest, CostComparableToStandardSeeding) {
+  Rng rng(8);
+  const Matrix points = SeparatedBlobs(10, 100, 3, rng);
+  double fast_total = 0.0, std_total = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    Rng fast_rng(800 + t), std_rng(900 + t);
+    FastKMeansPlusPlusOptions options;
+    fast_total +=
+        FastKMeansPlusPlus(points, {}, 10, options, fast_rng).total_cost;
+    std_total += KMeansPlusPlus(points, {}, 10, 2, std_rng).total_cost;
+  }
+  // Tree-metric seeding pays an O(d^z log k) style factor after dimension
+  // reduction, i.e. roughly d * log Δ * log k here (d = 3, log Δ ~ 20,
+  // log k ~ 3); we cap at a generous constant times that envelope.
+  EXPECT_LT(fast_total, 500.0 * std_total + 1e-9);
+}
+
+TEST(FastKMeansPlusPlusTest, FewerDistinctPointsThanK) {
+  Matrix points(6, 2);  // Three distinct locations, duplicated.
+  for (int i = 0; i < 3; ++i) {
+    points.At(2 * i, 0) = 10.0 * i;
+    points.At(2 * i + 1, 0) = 10.0 * i;
+  }
+  Rng rng(9);
+  FastKMeansPlusPlusOptions options;
+  options.max_depth = 20;  // Duplicates share leaves at max depth.
+  const Clustering result = FastKMeansPlusPlus(points, {}, 6, options, rng);
+  EXPECT_LE(result.centers.rows(), 6u);
+  EXPECT_GE(result.centers.rows(), 3u);
+  EXPECT_LT(result.total_cost, 1e-6);
+}
+
+TEST(FastKMeansPlusPlusTest, KMedianModeUsesPlainDistances) {
+  Rng rng(10);
+  const Matrix points = SeparatedBlobs(4, 60, 2, rng);
+  FastKMeansPlusPlusOptions options;
+  options.z = 1;
+  const Clustering result = FastKMeansPlusPlus(points, {}, 4, options, rng);
+  EXPECT_EQ(result.z, 1);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    EXPECT_NEAR(result.point_costs[i],
+                L2(points.Row(i), result.centers.Row(result.assignment[i])),
+                1e-9);
+  }
+}
+
+TEST(FastKMeansPlusPlusTest, RejectionSamplingOffStillWorks) {
+  Rng rng(11);
+  const Matrix points = SeparatedBlobs(6, 50, 2, rng);
+  FastKMeansPlusPlusOptions options;
+  options.rejection_sampling = false;
+  const Clustering result = FastKMeansPlusPlus(points, {}, 6, options, rng);
+  EXPECT_EQ(result.centers.rows(), 6u);
+  EXPECT_GT(result.total_cost, 0.0);
+}
+
+TEST(FastKMeansPlusPlusTest, WeightedSeedingFavoursHeavyRegions) {
+  // 100 light points at x=0, 1 heavy point at x=1000 with weight 1e6.
+  Matrix points(101, 1);
+  std::vector<double> weights(101, 1.0);
+  points.At(100, 0) = 1000.0;
+  weights[100] = 1e6;
+  int heavy_first = 0;
+  for (int t = 0; t < 50; ++t) {
+    Rng rng(1100 + t);
+    FastKMeansPlusPlusOptions options;
+    const Clustering result =
+        FastKMeansPlusPlus(points, weights, 1, options, rng);
+    if (result.centers.At(0, 0) > 500.0) ++heavy_first;
+  }
+  EXPECT_GT(heavy_first, 45);
+}
+
+TEST(LloydTest, CostMonotoneNonIncreasing) {
+  Rng rng(12);
+  const Matrix points = SeparatedBlobs(4, 100, 3, rng);
+  const Clustering seed = KMeansPlusPlus(points, {}, 4, 2, rng);
+  LloydOptions options;
+  options.max_iters = 10;
+  const Clustering refined = LloydKMeans(points, {}, seed.centers, options);
+  EXPECT_LE(refined.total_cost, seed.total_cost + 1e-9);
+}
+
+TEST(LloydTest, ConvergesToBlobMeansOnEasyData) {
+  Rng rng(13);
+  const Matrix points = SeparatedBlobs(3, 200, 2, rng);
+  const Clustering seed = KMeansPlusPlus(points, {}, 3, 2, rng);
+  const Clustering refined = LloydKMeans(points, {}, seed.centers);
+  // Optimal cost ~ n * d * sigma^2 = 600 * 2; allow generous slack.
+  EXPECT_LT(refined.total_cost, 3.0 * 600.0 * 2.0);
+}
+
+TEST(LloydTest, WeightedCentroids) {
+  // Two points, weight 3 at x=0 and weight 1 at x=4: 1-means center at 1.
+  Matrix points(2, 1);
+  points.At(1, 0) = 4.0;
+  Matrix init(1, 1);
+  init.At(0, 0) = 2.0;
+  const Clustering result = LloydKMeans(points, {3.0, 1.0}, init);
+  EXPECT_NEAR(result.centers.At(0, 0), 1.0, 1e-9);
+}
+
+TEST(LloydTest, EmptyClusterReseeded) {
+  Rng rng(14);
+  const Matrix points = SeparatedBlobs(2, 100, 2, rng);
+  // Three centers, two stacked far away: one will start empty.
+  Matrix init(3, 2);
+  for (size_t j = 0; j < 2; ++j) {
+    init.At(0, j) = points.At(0, j);
+    init.At(1, j) = 1e6;
+    init.At(2, j) = 1e6;
+  }
+  const Clustering result = LloydKMeans(points, {}, init);
+  // All centers ended up used or harmless; cost must be small since k=3
+  // suffices for 2 blobs.
+  EXPECT_LT(result.total_cost, 100.0 * 2.0 * 2.0 * 10.0);
+}
+
+TEST(WeiszfeldTest, MedianOfSymmetricPointsIsCenter) {
+  Matrix points(4, 2);
+  points.At(0, 0) = 1.0;
+  points.At(1, 0) = -1.0;
+  points.At(2, 1) = 1.0;
+  points.At(3, 1) = -1.0;
+  const auto median = GeometricMedian(points, {}, {0, 1, 2, 3});
+  EXPECT_NEAR(median[0], 0.0, 1e-5);
+  EXPECT_NEAR(median[1], 0.0, 1e-5);
+}
+
+TEST(WeiszfeldTest, MedianRobustToOutlierUnlikeMean) {
+  // 9 points at 0, 1 point at 100: median stays near 0, mean at 10.
+  Matrix points(10, 1);
+  points.At(9, 0) = 100.0;
+  std::vector<size_t> all(10);
+  for (size_t i = 0; i < 10; ++i) all[i] = i;
+  const auto median = GeometricMedian(points, {}, all, /*max_iters=*/100);
+  EXPECT_LT(std::abs(median[0]), 1.0);
+}
+
+TEST(WeiszfeldTest, WeightsShiftTheMedian) {
+  Matrix points(2, 1);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 10.0;
+  // Heavier weight on the right point pulls the median (for two points the
+  // geometric median sits at the heavier point).
+  const auto median = GeometricMedian(points, {1.0, 5.0}, {0, 1}, 200);
+  EXPECT_GT(median[0], 8.0);
+}
+
+TEST(KMedianTest, CostMonotoneAndAssignmentsValid) {
+  Rng rng(15);
+  const Matrix points = SeparatedBlobs(4, 80, 2, rng);
+  const Clustering seed = KMeansPlusPlus(points, {}, 4, 1, rng);
+  const Clustering refined = LloydKMedian(points, {}, seed.centers);
+  EXPECT_EQ(refined.z, 1);
+  EXPECT_LE(refined.total_cost, seed.total_cost + 1e-9);
+  for (size_t a : refined.assignment) EXPECT_LT(a, 4u);
+}
+
+}  // namespace
+}  // namespace fastcoreset

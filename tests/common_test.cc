@@ -1,0 +1,221 @@
+// Tests for src/common: rng, fenwick tree, stats, table printer, env.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/env.h"
+#include "src/common/fenwick_tree.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+
+namespace fastcoreset {
+namespace {
+
+TEST(RngTest, DeterministicAcrossReseed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  a.Reseed(42);
+  Rng c(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextIndexBoundsAndCoverage) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextIndex(10);
+    EXPECT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All values hit over 1000 draws.
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, SampleDiscreteMatchesWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.SampleDiscrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsAPermutationPrefix) {
+  Rng rng(17);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(19);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(FenwickTest, PrefixSumsMatchBruteForce) {
+  Rng rng(23);
+  const size_t n = 257;
+  FenwickTree tree(n);
+  std::vector<double> reference(n, 0.0);
+  for (int round = 0; round < 500; ++round) {
+    const size_t i = rng.NextIndex(n);
+    const double v = rng.NextDouble() * 10.0;
+    tree.Set(i, v);
+    reference[i] = v;
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i <= n; ++i) {
+    EXPECT_NEAR(tree.PrefixSum(i), acc, 1e-9);
+    if (i < n) acc += reference[i];
+  }
+}
+
+TEST(FenwickTest, UpperBoundFindsCorrectSlot) {
+  FenwickTree tree(4);
+  tree.Set(0, 1.0);
+  tree.Set(1, 0.0);
+  tree.Set(2, 2.0);
+  tree.Set(3, 1.0);
+  EXPECT_EQ(tree.UpperBound(0.5), 0u);
+  EXPECT_EQ(tree.UpperBound(1.5), 2u);  // Skips the zero-weight slot.
+  EXPECT_EQ(tree.UpperBound(2.9), 2u);
+  EXPECT_EQ(tree.UpperBound(3.5), 3u);
+}
+
+TEST(FenwickTest, SampleProportionalToWeights) {
+  Rng rng(29);
+  FenwickTree tree(3);
+  tree.Set(0, 2.0);
+  tree.Set(1, 0.0);
+  tree.Set(2, 6.0);
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[tree.Sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+}
+
+TEST(FenwickTest, SetOverwritesNotAccumulates) {
+  FenwickTree tree(2);
+  tree.Set(0, 5.0);
+  tree.Set(0, 1.0);
+  EXPECT_NEAR(tree.Total(), 1.0, 1e-12);
+  EXPECT_NEAR(tree.Get(0), 1.0, 1e-12);
+}
+
+TEST(StatsTest, RunningStatMeanVariance) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_NEAR(stat.Mean(), 5.0, 1e-12);
+  EXPECT_NEAR(stat.Variance(), 4.0, 1e-12);
+  EXPECT_EQ(stat.Count(), 8u);
+  EXPECT_EQ(stat.Min(), 2.0);
+  EXPECT_EQ(stat.Max(), 9.0);
+}
+
+TEST(StatsTest, VectorHelpersMatchRunningStat) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 10.0};
+  RunningStat stat;
+  for (double x : xs) stat.Add(x);
+  EXPECT_NEAR(Mean(xs), stat.Mean(), 1e-12);
+  EXPECT_NEAR(Variance(xs), stat.Variance(), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+  RunningStat stat;
+  EXPECT_EQ(stat.Mean(), 0.0);
+  EXPECT_EQ(stat.Variance(), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPadsShortRows) {
+  TablePrinter table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsCompactly) {
+  EXPECT_EQ(TablePrinter::Num(1.0), "1");
+  EXPECT_EQ(TablePrinter::Num(614.2, 3), "614.2");
+  const std::string big = TablePrinter::Num(3.2e9, 2);
+  EXPECT_NE(big.find("e"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MeanVarUsesPlusMinus) {
+  const std::string s = TablePrinter::MeanVar(1.07, 0.0);
+  EXPECT_NE(s.find("±"), std::string::npos);
+}
+
+TEST(EnvTest, FallbacksAndParsing) {
+  ::unsetenv("FC_TEST_ENV_VAR");
+  EXPECT_EQ(EnvInt("FC_TEST_ENV_VAR", 7), 7);
+  EXPECT_EQ(EnvDouble("FC_TEST_ENV_VAR", 1.5), 1.5);
+  ::setenv("FC_TEST_ENV_VAR", "42", 1);
+  EXPECT_EQ(EnvInt("FC_TEST_ENV_VAR", 7), 42);
+  ::setenv("FC_TEST_ENV_VAR", "2.25", 1);
+  EXPECT_EQ(EnvDouble("FC_TEST_ENV_VAR", 1.5), 2.25);
+  ::setenv("FC_TEST_ENV_VAR", "not-a-number", 1);
+  EXPECT_EQ(EnvInt("FC_TEST_ENV_VAR", 7), 7);
+  ::unsetenv("FC_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace fastcoreset

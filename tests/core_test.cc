@@ -1,0 +1,359 @@
+// Tests for src/core: importance machinery and the five samplers.
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/core/fast_coreset.h"
+#include "src/core/importance.h"
+#include "src/core/lightweight_coreset.h"
+#include "src/core/samplers.h"
+#include "src/core/sensitivity_sampling.h"
+#include "src/core/uniform_sampling.h"
+#include "src/core/welterweight_coreset.h"
+#include "src/data/generators.h"
+
+namespace fastcoreset {
+namespace {
+
+Matrix Blobs(size_t blobs, size_t per_blob, size_t d, Rng& rng,
+             double box = 500.0) {
+  Matrix points(blobs * per_blob, d);
+  std::vector<double> center(d);
+  size_t row_idx = 0;
+  for (size_t b = 0; b < blobs; ++b) {
+    for (double& x : center) x = rng.Uniform(0.0, box);
+    for (size_t p = 0; p < per_blob; ++p) {
+      auto row = points.Row(row_idx++);
+      for (size_t j = 0; j < d; ++j) row[j] = center[j] + rng.NextGaussian();
+    }
+  }
+  return points;
+}
+
+TEST(ImportanceTest, SensitivitiesSumToTwiceClusterCount) {
+  Rng rng(1);
+  const Matrix points = Blobs(4, 50, 2, rng);
+  const Clustering solution = KMeansPlusPlus(points, {}, 4, 2, rng);
+  const ImportanceScores scores = ComputeSensitivities(
+      points, {}, solution.assignment, solution.centers, 2);
+  // Sum over each cluster of (cost ratio + weight ratio) = 2 per cluster.
+  EXPECT_NEAR(scores.total, 2.0 * 4.0, 1e-6);
+  for (double s : scores.sigma) EXPECT_GE(s, 0.0);
+}
+
+TEST(ImportanceTest, OutlierGetsHighScore) {
+  // 99 points at origin + 1 far outlier, 1 cluster: the outlier holds
+  // nearly all the cost mass.
+  Matrix points(100, 1);
+  points.At(99, 0) = 1000.0;
+  Matrix center(1, 1);
+  center.At(0, 0) = 10.0;
+  const std::vector<size_t> assignment(100, 0);
+  const ImportanceScores scores =
+      ComputeSensitivities(points, {}, assignment, center, 2);
+  for (size_t i = 0; i < 99; ++i) EXPECT_LT(scores.sigma[i], scores.sigma[99]);
+  EXPECT_GT(scores.sigma[99], 0.9);
+}
+
+// The core unbiasedness property: E[cost(Ω, C)] = cost(P, C) for a fixed
+// candidate solution C.
+TEST(ImportanceTest, WeightedEstimatorIsUnbiased) {
+  Rng rng(2);
+  const Matrix points = Blobs(3, 60, 2, rng);
+  const Clustering solution = KMeansPlusPlus(points, {}, 3, 2, rng);
+  const ImportanceScores scores = ComputeSensitivities(
+      points, {}, solution.assignment, solution.centers, 2);
+
+  // Probe solution: a *different* random clustering.
+  Rng probe_rng(3);
+  const Clustering probe = KMeansPlusPlus(points, {}, 5, 2, probe_rng);
+  const double true_cost = CostToCenters(points, {}, probe.centers, 2);
+
+  double estimate_sum = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng(100 + t);
+    const Coreset coreset =
+        SampleByImportance(points, {}, scores, 40, trial_rng);
+    estimate_sum +=
+        CostToCenters(coreset.points, coreset.weights, probe.centers, 2);
+  }
+  EXPECT_NEAR(estimate_sum / trials / true_cost, 1.0, 0.15);
+}
+
+TEST(ImportanceTest, TotalWeightConcentratesAroundN) {
+  Rng rng(4);
+  const Matrix points = Blobs(4, 100, 3, rng);
+  const Clustering solution = KMeansPlusPlus(points, {}, 4, 2, rng);
+  const ImportanceScores scores = ComputeSensitivities(
+      points, {}, solution.assignment, solution.centers, 2);
+  double total = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    Rng trial_rng(200 + t);
+    total += SampleByImportance(points, {}, scores, 100, trial_rng)
+                 .TotalWeight();
+  }
+  EXPECT_NEAR(total / trials / static_cast<double>(points.rows()), 1.0, 0.1);
+}
+
+TEST(ImportanceTest, DuplicateDrawsAreMerged) {
+  // Tiny dataset + many samples: indices must be unique in the output.
+  Matrix points(3, 1);
+  points.At(1, 0) = 1.0;
+  points.At(2, 0) = 2.0;
+  ImportanceScores scores;
+  scores.sigma = {1.0, 1.0, 1.0};
+  scores.total = 3.0;
+  Rng rng(5);
+  const Coreset coreset = SampleByImportance(points, {}, scores, 100, rng);
+  EXPECT_LE(coreset.size(), 3u);
+  std::vector<size_t> sorted = coreset.indices;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  EXPECT_NEAR(coreset.TotalWeight(), 3.0, 1e-9);
+}
+
+TEST(ImportanceTest, CenterCorrectionRestoresClusterWeights) {
+  Rng rng(6);
+  const Matrix points = Blobs(3, 50, 2, rng);
+  const Clustering solution = KMeansPlusPlus(points, {}, 3, 2, rng);
+  const ImportanceScores scores = ComputeSensitivities(
+      points, {}, solution.assignment, solution.centers, 2);
+  Coreset coreset = SampleByImportance(points, {}, scores, 30, rng);
+  const double eps = 0.1;
+  ApplyCenterCorrection(points, {}, solution.assignment, solution.centers,
+                        eps, &coreset);
+  // After correction, total weight >= n (each cluster topped up to at
+  // least (1+eps) * cluster weight when undersampled).
+  EXPECT_GE(coreset.TotalWeight(), 150.0 - 1e-6);
+  EXPECT_LE(coreset.TotalWeight(), (1.0 + eps) * 150.0 + 150.0);
+}
+
+TEST(UniformTest, UnweightedWithoutReplacement) {
+  Rng rng(7);
+  Matrix points(100, 2);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 1.0);
+  const Coreset coreset = UniformSamplingCoreset(points, {}, 20, rng);
+  EXPECT_EQ(coreset.size(), 20u);
+  for (double w : coreset.weights) EXPECT_NEAR(w, 5.0, 1e-12);
+  std::vector<size_t> sorted = coreset.indices;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(UniformTest, MLargerThanNReturnsEverything) {
+  Rng rng(8);
+  Matrix points(10, 1);
+  const Coreset coreset = UniformSamplingCoreset(points, {}, 50, rng);
+  EXPECT_EQ(coreset.size(), 10u);
+  EXPECT_NEAR(coreset.TotalWeight(), 10.0, 1e-12);
+}
+
+TEST(UniformTest, WeightedInputPreservesTotalWeight) {
+  Rng rng(9);
+  Matrix points(50, 1);
+  for (size_t i = 0; i < 50; ++i) points.At(i, 0) = static_cast<double>(i);
+  std::vector<double> weights(50, 2.0);
+  const Coreset coreset = UniformSamplingCoreset(points, weights, 25, rng);
+  EXPECT_NEAR(coreset.TotalWeight(), 100.0, 1e-9);
+}
+
+TEST(UniformTest, MissesOutliersOnCOutlierData) {
+  // The paper's central negative result for uniform sampling: on the
+  // c-outlier dataset, a small uniform sample almost surely misses all c
+  // outliers.
+  Rng rng(10);
+  const size_t n = 20000, c = 10;
+  const Matrix points = GenerateCOutlier(n, c, 5, 1e6, rng);
+  const Coreset coreset = UniformSamplingCoreset(points, {}, 100, rng);
+  size_t outliers_sampled = 0;
+  for (size_t idx : coreset.indices) {
+    if (idx >= n - c) ++outliers_sampled;
+  }
+  EXPECT_EQ(outliers_sampled, 0u);
+}
+
+TEST(SensitivityTest, CapturesOutliersOnCOutlierData) {
+  Rng rng(11);
+  const size_t n = 20000, c = 10;
+  const Matrix points = GenerateCOutlier(n, c, 5, 1e6, rng);
+  const Coreset coreset =
+      SensitivitySamplingCoreset(points, {}, /*k=*/20, /*m=*/200, 2, rng);
+  size_t outliers_sampled = 0;
+  for (size_t idx : coreset.indices) {
+    if (idx >= n - c) ++outliers_sampled;
+  }
+  EXPECT_GT(outliers_sampled, 0u);
+}
+
+TEST(LightweightTest, SizeAndWeightSum) {
+  Rng rng(12);
+  const Matrix points = Blobs(5, 100, 3, rng);
+  const Coreset coreset = LightweightCoreset(points, {}, 100, 2, rng);
+  EXPECT_LE(coreset.size(), 100u);
+  EXPECT_GT(coreset.size(), 50u);
+  EXPECT_NEAR(coreset.TotalWeight(), 500.0, 150.0);
+}
+
+TEST(LightweightTest, BiasedTowardFarFromMean) {
+  // Points at distance 0 and R from the mean: far points should be
+  // sampled with much higher probability per point.
+  Matrix points(1000, 1);
+  for (size_t i = 0; i < 10; ++i) points.At(i, 0) = 1000.0;
+  Rng rng(13);
+  const Coreset coreset = LightweightCoreset(points, {}, 50, 2, rng);
+  size_t far_sampled = 0;
+  for (size_t idx : coreset.indices) {
+    if (idx < 10) ++far_sampled;
+  }
+  EXPECT_GT(far_sampled, 5u);  // 10 far points carry ~half the sigma mass.
+}
+
+TEST(WelterweightTest, DefaultJIsLogK) {
+  EXPECT_EQ(DefaultWelterweightJ(100), 7u);  // ceil(log2 100)
+  EXPECT_EQ(DefaultWelterweightJ(2), 1u);
+  EXPECT_EQ(DefaultWelterweightJ(1), 1u);
+}
+
+TEST(WelterweightTest, JEqualsOneMatchesLightweightShape) {
+  Rng rng(14);
+  const Matrix points = Blobs(4, 100, 2, rng);
+  const Coreset coreset =
+      WelterweightCoreset(points, {}, /*k=*/16, /*j=*/1, 80, 2, rng);
+  EXPECT_GT(coreset.size(), 0u);
+  EXPECT_NEAR(coreset.TotalWeight(), 400.0, 120.0);
+}
+
+TEST(FastCoresetTest, EndToEndSizeAndWeights) {
+  Rng rng(15);
+  const Matrix points = Blobs(8, 200, 10, rng);
+  FastCoresetOptions options;
+  options.k = 8;
+  options.m = 300;
+  const Coreset coreset = FastCoreset(points, {}, options, rng);
+  EXPECT_LE(coreset.size(), 300u);
+  EXPECT_GT(coreset.size(), 100u);
+  EXPECT_NEAR(coreset.TotalWeight(), 1600.0, 400.0);
+  for (double w : coreset.weights) EXPECT_GT(w, 0.0);
+}
+
+TEST(FastCoresetTest, CapturesOutliers) {
+  Rng rng(16);
+  const size_t n = 20000, c = 10;
+  const Matrix points = GenerateCOutlier(n, c, 5, 1e6, rng);
+  FastCoresetOptions options;
+  options.k = 20;
+  options.m = 200;
+  const Coreset coreset = FastCoreset(points, {}, options, rng);
+  size_t outliers_sampled = 0;
+  for (size_t idx : coreset.indices) {
+    if (idx != Coreset::kSyntheticIndex && idx >= n - c) ++outliers_sampled;
+  }
+  EXPECT_GT(outliers_sampled, 0u);
+}
+
+TEST(FastCoresetTest, DefaultMIs40K) {
+  Rng rng(17);
+  const Matrix points = Blobs(4, 400, 3, rng);
+  FastCoresetOptions options;
+  options.k = 4;
+  options.m = 0;  // default 40k = 160
+  const Coreset coreset = FastCoreset(points, {}, options, rng);
+  EXPECT_LE(coreset.size(), 160u);
+  EXPECT_GT(coreset.size(), 80u);
+}
+
+TEST(FastCoresetTest, KMedianMode) {
+  Rng rng(18);
+  const Matrix points = Blobs(5, 100, 4, rng);
+  FastCoresetOptions options;
+  options.k = 5;
+  options.m = 150;
+  options.z = 1;
+  const Coreset coreset = FastCoreset(points, {}, options, rng);
+  EXPECT_GT(coreset.size(), 0u);
+  EXPECT_NEAR(coreset.TotalWeight(), 500.0, 150.0);
+}
+
+TEST(FastCoresetTest, SpreadReductionPathProducesValidCoreset) {
+  Rng rng(19);
+  const Matrix points = GenerateSpreadDataset(5000, 30, rng);
+  FastCoresetOptions options;
+  options.k = 10;
+  options.m = 200;
+  options.use_spread_reduction = true;
+  options.use_jl = false;  // 2-D input.
+  const Coreset coreset = FastCoreset(points, {}, options, rng);
+  EXPECT_GT(coreset.size(), 0u);
+  // Coreset points must be original dataset rows (not spread-reduced).
+  for (size_t r = 0; r < coreset.size(); ++r) {
+    if (coreset.indices[r] == Coreset::kSyntheticIndex) continue;
+    EXPECT_EQ(coreset.points.At(r, 0), points.At(coreset.indices[r], 0));
+  }
+  EXPECT_NEAR(coreset.TotalWeight(), 5000.0, 1500.0);
+}
+
+TEST(FastCoresetTest, CenterCorrectionAddsSyntheticRows) {
+  Rng rng(20);
+  const Matrix points = Blobs(4, 100, 3, rng);
+  FastCoresetOptions options;
+  options.k = 4;
+  options.m = 50;
+  options.center_correction = true;
+  const Coreset coreset = FastCoreset(points, {}, options, rng);
+  size_t synthetic = 0;
+  for (size_t idx : coreset.indices) {
+    if (idx == Coreset::kSyntheticIndex) ++synthetic;
+  }
+  EXPECT_GT(synthetic, 0u);
+  EXPECT_LE(synthetic, 4u);
+}
+
+TEST(SamplersTest, RegistryCoversAllAndNamesAreUnique) {
+  const auto all = AllSamplers();
+  EXPECT_EQ(all.size(), 5u);
+  std::vector<std::string> names;
+  for (SamplerKind kind : all) names.push_back(SamplerName(kind));
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+}
+
+TEST(SamplersTest, BuildCoresetDispatchesEveryKind) {
+  Rng rng(21);
+  const Matrix points = Blobs(4, 100, 3, rng);
+  for (SamplerKind kind : AllSamplers()) {
+    Rng local(100 + static_cast<int>(kind));
+    const Coreset coreset =
+        BuildCoreset(kind, points, {}, /*k=*/8, /*m=*/60, 2, local);
+    EXPECT_GT(coreset.size(), 0u) << SamplerName(kind);
+    EXPECT_NEAR(coreset.TotalWeight(), 400.0, 150.0) << SamplerName(kind);
+  }
+}
+
+TEST(SamplersTest, BuilderAdapterMatchesDirectCall) {
+  Rng rng_a(22), rng_b(22);
+  const Matrix points = Blobs(3, 80, 2, rng_a);
+  Rng data_rng(22);
+  const Matrix points_b = Blobs(3, 80, 2, rng_b);
+  const CoresetBuilder builder =
+      MakeCoresetBuilder(SamplerKind::kUniform, 8, 2);
+  Rng s1(1), s2(1);
+  const Coreset via_builder = builder(points, {}, 40, s1);
+  const Coreset direct =
+      BuildCoreset(SamplerKind::kUniform, points, {}, 8, 40, 2, s2);
+  ASSERT_EQ(via_builder.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_builder.indices[i], direct.indices[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fastcoreset

@@ -1,0 +1,260 @@
+// Tests for src/data (generators, real-like stand-ins, CSV) and src/eval
+// (distortion metric, harness).
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/clustering/cost.h"
+#include "src/core/samplers.h"
+#include "src/data/csv_loader.h"
+#include "src/data/generators.h"
+#include "src/data/real_like.h"
+#include "src/eval/distortion.h"
+#include "src/eval/harness.h"
+#include "src/geometry/bounding_box.h"
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+namespace {
+
+TEST(GeneratorsTest, COutlierShape) {
+  Rng rng(1);
+  const Matrix points = GenerateCOutlier(1000, 25, 10, 1e4, rng);
+  EXPECT_EQ(points.rows(), 1000u);
+  EXPECT_EQ(points.cols(), 10u);
+  // First n - c points near origin, last c far away.
+  EXPECT_LT(L2(points.Row(0), std::vector<double>(10, 0.0)), 1.0);
+  EXPECT_GT(L2(points.Row(999), std::vector<double>(10, 0.0)), 1e3);
+}
+
+TEST(GeneratorsTest, GeometricMassDecaysByFactorR) {
+  Rng rng(2);
+  const Matrix points = GenerateGeometric(/*k=*/4, /*c=*/64, /*r=*/2, 20, rng);
+  // Sizes: 256, 128, 64, ..., 1 — total 511.
+  EXPECT_EQ(points.rows(), 511u);
+  // Count points per vertex via the dominant coordinate.
+  std::vector<size_t> counts(20, 0);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const auto row = points.Row(i);
+    size_t argmax = 0;
+    for (size_t j = 1; j < 20; ++j) {
+      if (row[j] > row[argmax]) argmax = j;
+    }
+    ++counts[argmax];
+  }
+  EXPECT_EQ(counts[0], 256u);
+  EXPECT_EQ(counts[1], 128u);
+  EXPECT_EQ(counts[8], 1u);
+}
+
+TEST(GeneratorsTest, GaussianMixtureBalancedWhenGammaZero) {
+  Rng rng(3);
+  const Matrix points = GenerateGaussianMixture(10000, 5, 10, 0.0, rng);
+  EXPECT_EQ(points.rows(), 10000u);
+}
+
+TEST(GeneratorsTest, GaussianMixtureImbalanceGrowsWithGamma) {
+  // With gamma = 5 the construction should produce much more uneven sizes
+  // than gamma = 0. We can't observe sizes directly, but the generator is
+  // deterministic given the rng: regenerate with instrumentation via the
+  // noise-free structure — instead we check the dataset remains valid and
+  // distinct across gamma (smoke + shape).
+  Rng rng_a(4), rng_b(4);
+  const Matrix balanced = GenerateGaussianMixture(5000, 5, 20, 0.0, rng_a);
+  const Matrix skewed = GenerateGaussianMixture(5000, 5, 20, 5.0, rng_b);
+  EXPECT_EQ(balanced.rows(), skewed.rows());
+  // Same seed, different gamma => different data.
+  bool any_diff = false;
+  for (size_t i = 0; i < 100 && !any_diff; ++i) {
+    any_diff = balanced.At(i, 0) != skewed.At(i, 0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorsTest, BenchmarkHasThreeOffsetSimplices) {
+  Rng rng(5);
+  const size_t k = 20;
+  const Matrix points = GenerateBenchmark(6000, k, rng);
+  // k1=10, k2=5, k3=5 -> total dim (11 + 6 + 6) = 23.
+  EXPECT_EQ(points.cols(), 23u);
+  EXPECT_GT(points.rows(), 5000u);
+  EXPECT_LE(points.rows(), 6000u);
+}
+
+TEST(GeneratorsTest, SpreadDatasetSpreadGrowsWithR) {
+  Rng rng(6);
+  const Matrix small_r = GenerateSpreadDataset(500, 10, rng);
+  const Matrix large_r = GenerateSpreadDataset(500, 30, rng);
+  // Min distance shrinks as 0.5^r along the special column.
+  EXPECT_GT(ComputeSpreadExact(large_r), ComputeSpreadExact(small_r) * 100.0);
+}
+
+TEST(GeneratorsTest, NoiseMakesPointsUnique) {
+  Rng rng(7);
+  Matrix points(500, 3);  // All zeros.
+  AddUniformNoise(&points, 1e-3, rng);
+  EXPECT_GT(MinNonzeroDistance(points), 0.0);
+}
+
+TEST(RealLikeTest, SuiteShapesAndNames) {
+  Rng rng(8);
+  const auto suite = RealLikeSuite(0.1, rng);
+  ASSERT_EQ(suite.size(), 7u);
+  std::set<std::string> names;
+  for (const auto& dataset : suite) {
+    names.insert(dataset.name);
+    EXPECT_GE(dataset.points.rows(), 1000u);
+    EXPECT_GT(dataset.points.cols(), 0u);
+    EXPECT_GT(dataset.default_k, 0u);
+  }
+  EXPECT_EQ(names.size(), 7u);
+  EXPECT_TRUE(names.count("Taxi"));
+  EXPECT_TRUE(names.count("Star"));
+}
+
+TEST(RealLikeTest, TaxiHasRemoteMass) {
+  Rng rng(9);
+  const Dataset taxi = MakeTaxiLike(20000, rng);
+  // Some points far outside the [0,100]^2 city box.
+  size_t remote = 0;
+  for (size_t i = 0; i < taxi.points.rows(); ++i) {
+    if (std::abs(taxi.points.At(i, 0)) > 1000.0) ++remote;
+  }
+  EXPECT_GT(remote, 10u);
+  EXPECT_LT(remote, taxi.points.rows() / 100);
+}
+
+TEST(RealLikeTest, StarMassOverwhelminglyDark) {
+  Rng rng(10);
+  const Dataset star = MakeStarLike(20000, rng);
+  size_t dark = 0;
+  for (size_t i = 0; i < star.points.rows(); ++i) {
+    if (std::abs(star.points.At(i, 0)) < 50.0) ++dark;
+  }
+  EXPECT_GT(static_cast<double>(dark) / star.points.rows(), 0.98);
+}
+
+TEST(RealLikeTest, ArtificialSuiteContainsFourDatasets) {
+  Rng rng(11);
+  const auto suite = ArtificialSuite(0.05, rng);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "c-outlier");
+  EXPECT_EQ(suite[3].name, "Benchmark");
+}
+
+TEST(CsvTest, RoundTrip) {
+  Rng rng(12);
+  Matrix points(7, 3);
+  for (double& x : points.data()) x = rng.Uniform(-5.0, 5.0);
+  const std::string path = "/tmp/fc_csv_test.csv";
+  ASSERT_TRUE(SaveCsv(path, points));
+  const auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->rows(), 7u);
+  ASSERT_EQ(loaded->cols(), 3u);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(loaded->At(i, j), points.At(i, j), 1e-4);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsMissingAndMalformedFiles) {
+  EXPECT_FALSE(LoadCsv("/tmp/fc_does_not_exist_12345.csv").has_value());
+  const std::string path = "/tmp/fc_csv_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("1,2,3\n4,5\n", f);  // Ragged.
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadCsv(path).has_value());
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("1,abc,3\n", f);  // Non-numeric.
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadCsv(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(DistortionTest, FullDatasetAsCoresetHasDistortionOne) {
+  Rng rng(13);
+  Matrix points(300, 2);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 100.0);
+  Coreset identity;
+  identity.points = points;
+  identity.weights = UnitWeights(300);
+  identity.indices.resize(300);
+  for (size_t i = 0; i < 300; ++i) identity.indices[i] = i;
+  DistortionOptions options;
+  options.k = 5;
+  EXPECT_NEAR(CoresetDistortion(points, {}, identity, options, rng), 1.0,
+              1e-9);
+}
+
+TEST(DistortionTest, DistortionAtLeastOne) {
+  Rng rng(14);
+  Matrix points(500, 3);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 10.0);
+  const Coreset coreset =
+      BuildCoreset(SamplerKind::kUniform, points, {}, 5, 50, 2, rng);
+  DistortionOptions options;
+  options.k = 5;
+  EXPECT_GE(CoresetDistortion(points, {}, coreset, options, rng), 1.0);
+}
+
+TEST(DistortionTest, DetectsDroppedCluster) {
+  // Coreset that deliberately omits a far-away cluster: distortion blows
+  // up because the solver can't place a center there.
+  Rng rng(15);
+  const size_t n = 2000;
+  Matrix points(n, 1);
+  for (size_t i = 0; i < n - 20; ++i) points.At(i, 0) = rng.NextGaussian();
+  for (size_t i = n - 20; i < n; ++i) points.At(i, 0) = 1e5;
+
+  // Uniform sample from the main blob only.
+  std::vector<size_t> rows(100);
+  for (size_t i = 0; i < 100; ++i) rows[i] = i;
+  Coreset bad;
+  bad.indices = rows;
+  bad.points = points.SelectRows(rows);
+  bad.weights.assign(100, static_cast<double>(n) / 100.0);
+
+  DistortionOptions options;
+  options.k = 2;
+  EXPECT_GT(CoresetDistortion(points, {}, bad, options, rng), 10.0);
+}
+
+TEST(DistortionTest, KMedianModeWorks) {
+  Rng rng(16);
+  Matrix points(400, 2);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 50.0);
+  const Coreset coreset =
+      BuildCoreset(SamplerKind::kSensitivity, points, {}, 4, 80, 1, rng);
+  DistortionOptions options;
+  options.k = 4;
+  options.z = 1;
+  const double distortion =
+      CoresetDistortion(points, {}, coreset, options, rng);
+  EXPECT_GE(distortion, 1.0);
+  EXPECT_LT(distortion, 2.0);
+}
+
+TEST(HarnessTest, RunTrialsIsDeterministicAndCounts) {
+  const auto trial = [](Rng& rng) { return rng.NextDouble(); };
+  const TrialStats a = RunTrials(5, 42, trial);
+  const TrialStats b = RunTrials(5, 42, trial);
+  EXPECT_EQ(a.value.Count(), 5u);
+  EXPECT_EQ(a.value.Mean(), b.value.Mean());
+  const TrialStats c = RunTrials(5, 43, trial);
+  EXPECT_NE(a.value.Mean(), c.value.Mean());
+}
+
+}  // namespace
+}  // namespace fastcoreset

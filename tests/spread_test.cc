@@ -1,0 +1,229 @@
+// Tests for src/spread: Crude-Approx (Algorithm 2) and Reduce-Spread
+// (Algorithm 3).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/data/generators.h"
+#include "src/geometry/bounding_box.h"
+#include "src/geometry/distance.h"
+#include "src/spread/crude_approx.h"
+#include "src/spread/reduce_spread.h"
+
+namespace fastcoreset {
+namespace {
+
+Matrix Blobs(size_t blobs, size_t per_blob, size_t d, Rng& rng,
+             double box = 1000.0) {
+  Matrix points(blobs * per_blob, d);
+  std::vector<double> center(d);
+  size_t row_idx = 0;
+  for (size_t b = 0; b < blobs; ++b) {
+    for (double& x : center) x = rng.Uniform(0.0, box);
+    for (size_t p = 0; p < per_blob; ++p) {
+      auto row = points.Row(row_idx++);
+      for (size_t j = 0; j < d; ++j) row[j] = center[j] + rng.NextGaussian();
+    }
+  }
+  return points;
+}
+
+TEST(CountDistinctCellsTest, CoarseGridOneCellFineGridAll) {
+  Matrix points(4, 2);
+  points.At(0, 0) = 0.0;
+  points.At(1, 0) = 1.0;
+  points.At(2, 0) = 2.0;
+  points.At(3, 0) = 3.0;
+  const std::vector<double> shift = {-0.1, -0.1};
+  EXPECT_EQ(CountDistinctCells(points, shift, 100.0), 1u);
+  EXPECT_EQ(CountDistinctCells(points, shift, 0.5), 4u);
+}
+
+TEST(CountDistinctCellsTest, MonotoneInRefinement) {
+  Rng rng(1);
+  Matrix points(100, 3);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 50.0);
+  const std::vector<double> shift = {-1.0, -1.0, -1.0};
+  size_t prev = 0;
+  for (double side = 64.0; side >= 0.5; side /= 2.0) {
+    const size_t count = CountDistinctCells(points, shift, side);
+    EXPECT_GE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(CrudeApproxTest, BoundsBracketTrueOptimum) {
+  Rng rng(2);
+  const size_t blobs = 5, per = 40;
+  const Matrix points = Blobs(blobs, per, 2, rng);
+  const size_t n = points.rows();
+
+  // Reference OPT for k-median: k-means++ (z=1) cost is a constant-factor
+  // proxy on well-separated blobs.
+  Rng seed_rng(3);
+  const double opt_proxy =
+      KMeansPlusPlus(points, {}, blobs, 1, seed_rng).total_cost;
+
+  const CrudeApproxResult crude = CrudeApprox(points, blobs, rng);
+  ASSERT_GT(crude.upper_bound, 0.0);
+  // Upper bound must dominate OPT (tree distances dominate Euclidean).
+  EXPECT_GE(crude.upper_bound, opt_proxy / 4.0);
+  // And stay within the poly(n, d, log Δ) envelope of Lemma 4.2 — the
+  // bound is O(n) * OPT_tree with OPT_tree <= O(d log Δ) OPT.
+  const double spread = ComputeSpreadExact(points);
+  const double envelope = 64.0 * static_cast<double>(n) * 2.0 *
+                          (std::log2(spread) + 1.0) * opt_proxy;
+  EXPECT_LE(crude.upper_bound, envelope);
+}
+
+TEST(CrudeApproxTest, DegenerateFewDistinctPoints) {
+  Matrix points(10, 2);  // All identical.
+  Rng rng(4);
+  const CrudeApproxResult crude = CrudeApprox(points, 3, rng);
+  EXPECT_EQ(crude.upper_bound, 0.0);
+  EXPECT_EQ(crude.split_level, -1);
+}
+
+TEST(CrudeApproxTest, ProbeCountIsLogLogScale) {
+  Rng rng(5);
+  const Matrix points = Blobs(4, 50, 2, rng);
+  const CrudeApproxResult crude = CrudeApprox(points, 4, rng);
+  // Binary + exponential search over <= 60 levels: a handful of probes,
+  // not O(levels).
+  EXPECT_LE(crude.probes, 16);
+  EXPECT_GE(crude.probes, 2);
+}
+
+TEST(CrudeApproxTest, KEqualsOneStillWorks) {
+  Rng rng(6);
+  const Matrix points = Blobs(2, 30, 2, rng);
+  const CrudeApproxResult crude = CrudeApprox(points, 1, rng);
+  EXPECT_GT(crude.upper_bound, 0.0);
+  EXPECT_GE(crude.upper_bound, crude.lower_bound);
+}
+
+TEST(ReduceSpreadTest, ShrinksHugeGaps) {
+  // Two tight groups separated by a massive gap: diameter must shrink by
+  // orders of magnitude while intra-group geometry is preserved.
+  Rng rng(7);
+  const size_t per = 50;
+  Matrix points(2 * per, 2);
+  for (size_t i = 0; i < per; ++i) {
+    points.At(i, 0) = rng.Uniform(0.0, 1.0);
+    points.At(i, 1) = rng.Uniform(0.0, 1.0);
+    points.At(per + i, 0) = 1e9 + rng.Uniform(0.0, 1.0);
+    points.At(per + i, 1) = rng.Uniform(0.0, 1.0);
+  }
+  // A reasonable upper bound on OPT for k=2: intra-group cost ~ per * 1.
+  const double upper = 200.0;
+  const SpreadReduction reduction = ReduceSpread(points, upper, 40.0, rng);
+
+  const BoundingBox before = ComputeBoundingBox(points);
+  const BoundingBox after = ComputeBoundingBox(reduction.points);
+  EXPECT_LT(after.Diagonal(), before.Diagonal() / 100.0);
+  EXPECT_EQ(reduction.num_boxes, 2u);
+
+  // Intra-group pairwise distances preserved up to rounding.
+  for (size_t i = 0; i < per; i += 7) {
+    for (size_t j = i + 1; j < per; j += 11) {
+      const double orig = L2(points.Row(i), points.Row(j));
+      const double reduced =
+          L2(reduction.points.Row(i), reduction.points.Row(j));
+      EXPECT_NEAR(reduced, orig, 1e-3 + 4.0 * reduction.grid_size);
+    }
+  }
+}
+
+TEST(ReduceSpreadTest, CostOfSolutionsPreserved) {
+  // Lemma 4.5: a solution on P' maps back to a solution on P with the same
+  // cost up to additive OPT/n-scale error.
+  Rng rng(8);
+  const Matrix points = Blobs(3, 60, 2, rng, /*box=*/1e7);
+  const double upper = 1e5;  // Generous upper bound on OPT (blob sigma 1).
+  const SpreadReduction reduction = ReduceSpread(points, upper, 50.0, rng);
+
+  Rng solve_rng(9);
+  const Clustering on_reduced =
+      KMeansPlusPlus(reduction.points, {}, 3, 1, solve_rng);
+  const double cost_reduced = on_reduced.total_cost;
+
+  const Matrix restored =
+      RestoreCenters(reduction, on_reduced.centers, on_reduced.assignment);
+  const double cost_original = CostToCenters(points, {}, restored, 1);
+  // Rounding error per point <= grid diagonal; totals should agree within
+  // a small relative + additive slack.
+  const double slack =
+      0.05 * cost_reduced +
+      4.0 * reduction.grid_size * std::sqrt(2.0) * points.rows() + 1e-6;
+  EXPECT_NEAR(cost_original, cost_reduced, slack);
+}
+
+TEST(ReduceSpreadTest, SpreadPolynomialAfterReduction) {
+  Rng rng(10);
+  // Pathological spread: pairs at distance 1e-6 and groups 1e9 apart.
+  Matrix points(40, 1);
+  for (size_t i = 0; i < 20; ++i) {
+    points.At(i, 0) = static_cast<double>(i % 5) * 1e-6;
+    points.At(20 + i, 0) = 1e9 + static_cast<double>(i % 5) * 1e-6;
+  }
+  const double upper = 1.0;  // OPT ~ tiny for k >= 2.
+  const SpreadReduction reduction = ReduceSpread(points, upper, 60.0, rng);
+  const double spread_after = ComputeSpreadExact(reduction.points);
+  // poly(n, d, log Δ) with n=40: definitely below 1e12 (original: 1e15).
+  EXPECT_LT(spread_after, 1e12);
+  EXPECT_GT(reduction.grid_size, 0.0);
+}
+
+TEST(ReduceSpreadTest, ZeroUpperBoundIsIdentity) {
+  Rng rng(11);
+  Matrix points(5, 2);
+  for (double& x : points.data()) x = rng.Uniform(0.0, 1.0);
+  const SpreadReduction reduction = ReduceSpread(points, 0.0, 10.0, rng);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(reduction.points.At(i, 0), points.At(i, 0));
+  }
+  EXPECT_EQ(reduction.num_boxes, 1u);
+}
+
+TEST(ReduceSpreadTest, AdjacencyPreserved) {
+  // Proposition 4.4(2): boxes adjacent before stay adjacent; non-adjacent
+  // stay non-adjacent (in particular, distinct boxes never merge).
+  Rng rng(12);
+  Matrix points(30, 1);
+  for (size_t i = 0; i < 10; ++i) {
+    points.At(i, 0) = rng.Uniform(0.0, 1.0);
+    points.At(10 + i, 0) = 1e6 + rng.Uniform(0.0, 1.0);
+    points.At(20 + i, 0) = 9e8 + rng.Uniform(0.0, 1.0);
+  }
+  const SpreadReduction reduction = ReduceSpread(points, 20.0, 40.0, rng);
+  ASSERT_EQ(reduction.num_boxes, 3u);
+  // Groups remain separated by at least ~r after reduction.
+  const double gap_ab = std::abs(reduction.points.At(10, 0) -
+                                 reduction.points.At(0, 0));
+  const double gap_bc = std::abs(reduction.points.At(20, 0) -
+                                 reduction.points.At(10, 0));
+  EXPECT_GT(gap_ab, reduction.box_side * 0.5);
+  EXPECT_GT(gap_bc, reduction.box_side * 0.5);
+}
+
+TEST(SpreadPipelineTest, CrudeApproxFeedsReduceSpread) {
+  // End-to-end Theorem 4.6 smoke: U from Crude-Approx produces a valid
+  // spread reduction on a huge-spread instance.
+  Rng rng(13);
+  const Matrix points = GenerateSpreadDataset(2000, 40, rng);
+  const CrudeApproxResult crude = CrudeApprox(points, 10, rng);
+  ASSERT_GT(crude.upper_bound, 0.0);
+  const SpreadReduction reduction =
+      ReduceSpread(points, crude.upper_bound, 60.0, rng);
+  EXPECT_EQ(reduction.points.rows(), points.rows());
+  // The reduction never increases the bounding-box diagonal.
+  EXPECT_LE(ComputeBoundingBox(reduction.points).Diagonal(),
+            ComputeBoundingBox(points).Diagonal() * 1.001);
+}
+
+}  // namespace
+}  // namespace fastcoreset
