@@ -20,6 +20,8 @@
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 
+#include "examples/example_util.h"
+
 namespace {
 
 using namespace fastcoreset;
@@ -73,17 +75,18 @@ void Advise(const std::string& name, const Matrix& points, size_t k,
 int main() {
   Rng rng(31337);
   const size_t k = 50;
+  const size_t n = examples::ScaledN(40000, /*floor_n=*/4000);
 
   // Easy: balanced Gaussians — everything works, so take the fastest.
-  const Matrix easy = GenerateGaussianMixture(40000, 20, k, 0.0, rng);
+  const Matrix easy = GenerateGaussianMixture(n, 20, k, 0.0, rng);
   Advise("balanced mixture", easy, k, rng);
 
   // Medium: heavy imbalance — uniform starts missing small clusters.
-  const Matrix skewed = GenerateGaussianMixture(40000, 20, k, 5.0, rng);
+  const Matrix skewed = GenerateGaussianMixture(n, 20, k, 5.0, rng);
   Advise("imbalanced mixture (gamma=5)", skewed, k, rng);
 
   // Hard: c-outlier — only importance-based methods survive.
-  const Matrix outliers = GenerateCOutlier(40000, 25, 20, 1e5, rng);
+  const Matrix outliers = GenerateCOutlier(n, 25, 20, 1e5, rng);
   Advise("c-outlier", outliers, k, rng);
 
   std::printf("\nBlueprint (paper 5.5): optimistic users may default to\n"

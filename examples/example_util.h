@@ -1,0 +1,33 @@
+// Shared helper for the demo binaries: FC_EXAMPLE_SCALE shrinks the
+// dataset sizes (the ctest smoke tests set it to 0.05 so the demos finish
+// in seconds, even under sanitizers). Default 1.0 keeps the documented
+// sizes. Each call site passes a floor that keeps its k/m choices feasible.
+
+#ifndef FASTCORESET_EXAMPLES_EXAMPLE_UTIL_H_
+#define FASTCORESET_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/common/env.h"
+
+namespace fastcoreset {
+namespace examples {
+
+inline size_t ScaledN(size_t n, size_t floor_n) {
+  const double scale = EnvDouble("FC_EXAMPLE_SCALE", 1.0);
+  // Upscaling past the built-in sizes is allowed (matching the benches'
+  // FC_SCALE knob), but the product must be clamped before the cast: a
+  // negative, NaN, or huge value would make the float->integer
+  // conversion UB.
+  constexpr double kMaxN = 1e8;
+  double scaled = static_cast<double>(n) * scale;
+  if (!(scaled >= 0.0)) scaled = 0.0;
+  if (scaled > kMaxN) scaled = kMaxN;
+  return std::max(floor_n, static_cast<size_t>(scaled));
+}
+
+}  // namespace examples
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_EXAMPLES_EXAMPLE_UTIL_H_

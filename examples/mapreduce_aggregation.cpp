@@ -19,12 +19,16 @@
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 
+#include "examples/example_util.h"
+
 int main() {
   using namespace fastcoreset;
   Rng rng(1234);
 
-  const size_t n = 200000, d = 20, k = 30;
+  const size_t d = 20, k = 30;
   const size_t m_per_worker = 20 * k;
+  // Floor: with 32 workers the average shard must still hold ~m points.
+  const size_t n = examples::ScaledN(200000, /*floor_n=*/32 * m_per_worker);
   std::printf("Generating %zu x %zu mixture; clustering with k=%zu...\n", n,
               d, k);
   const Matrix points = GenerateGaussianMixture(n, d, k, /*gamma=*/2.5, rng);

@@ -14,13 +14,15 @@
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 
+#include "examples/example_util.h"
+
 int main() {
   using namespace fastcoreset;
   Rng rng(2024);
 
   // 1. A dataset too large to cluster comfortably: 100k points, 30 dims,
   //    40 imbalanced Gaussian clusters.
-  const size_t n = 100000, d = 30, k = 40;
+  const size_t n = examples::ScaledN(100000, /*floor_n=*/6400), d = 30, k = 40;
   std::printf("Generating %zu x %zu Gaussian mixture (kappa=%zu)...\n", n, d,
               k);
   const Matrix points = GenerateGaussianMixture(n, d, k, /*gamma=*/2.0, rng);

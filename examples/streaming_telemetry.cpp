@@ -15,13 +15,15 @@
 #include "src/eval/distortion.h"
 #include "src/streaming/merge_reduce.h"
 
+#include "examples/example_util.h"
+
 int main() {
   using namespace fastcoreset;
   Rng rng(99);
 
   const size_t k = 20;
   const size_t m = 30 * k;
-  const size_t batch_size = 8192;
+  const size_t batch_size = examples::ScaledN(8192, /*floor_n=*/m);
   const size_t batches = 16;
 
   // The full stream is materialized only to audit the summary afterwards;

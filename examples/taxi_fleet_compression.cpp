@@ -17,6 +17,8 @@
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 
+#include "examples/example_util.h"
+
 namespace {
 
 using namespace fastcoreset;
@@ -39,7 +41,8 @@ int main() {
 
   std::printf("Simulating a city of pickups (Zipf street clusters + remote "
               "airports)...\n");
-  const Dataset taxi = MakeTaxiLike(150000, rng);
+  const Dataset taxi =
+      MakeTaxiLike(examples::ScaledN(150000, /*floor_n=*/8000), rng);
   const Matrix& pickups = taxi.points;
   const size_t m = 20 * k;
 

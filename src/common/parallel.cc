@@ -3,11 +3,34 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/common/env.h"
+
 namespace fastcoreset {
 
 namespace {
 
-std::atomic<size_t> g_num_threads{1};
+// 0 = "not set yet": fall back to the FC_THREADS environment variable
+// (default 1, serial) until SetNumThreads is called.
+std::atomic<size_t> g_num_threads{0};
+
+// Upper bound on the env-supplied worker count: ParallelFor spawns this
+// many OS threads per call, so an accidental FC_THREADS=100000 must not
+// turn into 100000 std::thread constructions (std::system_error ->
+// std::terminate).
+constexpr size_t kMaxEnvThreads = 256;
+
+size_t EnvDefaultThreads() {
+  static const size_t value = [] {
+    const int64_t env = EnvInt("FC_THREADS", 1);
+    if (env < 0) return size_t{1};
+    if (env == 0) {
+      const unsigned hardware = std::thread::hardware_concurrency();
+      return hardware == 0 ? size_t{1} : size_t{hardware};
+    }
+    return std::min(static_cast<size_t>(env), kMaxEnvThreads);
+  }();
+  return value;
+}
 
 // Below this many items the thread spawn overhead dominates.
 constexpr size_t kSerialCutoff = 4096;
@@ -34,7 +57,12 @@ void SetNumThreads(size_t count) {
   g_num_threads.store(count);
 }
 
-size_t GetNumThreads() { return std::max<size_t>(1, g_num_threads.load()); }
+void ResetNumThreads() { g_num_threads.store(0); }
+
+size_t GetNumThreads() {
+  const size_t set = g_num_threads.load();
+  return set == 0 ? EnvDefaultThreads() : set;
+}
 
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;

@@ -5,8 +5,9 @@
 // results are bit-identical for a fixed thread count.
 //
 // Parallelism is opt-in: the global thread count defaults to 1 (serial),
-// keeping single-threaded reproducibility unless the caller (or the
-// FC_THREADS environment variable, honoured by the benches) raises it.
+// keeping single-threaded reproducibility unless the caller calls
+// SetNumThreads or the FC_THREADS environment variable raises it
+// (FC_THREADS=0 picks the hardware concurrency).
 
 #ifndef FASTCORESET_COMMON_PARALLEL_H_
 #define FASTCORESET_COMMON_PARALLEL_H_
@@ -23,6 +24,10 @@ namespace fastcoreset {
 /// Sets the global worker count used by ParallelFor/ParallelReduce.
 /// count = 0 picks the hardware concurrency.
 void SetNumThreads(size_t count);
+
+/// Discards any SetNumThreads override and returns to the FC_THREADS
+/// environment default (1 when unset).
+void ResetNumThreads();
 
 /// Current global worker count (>= 1).
 size_t GetNumThreads();
