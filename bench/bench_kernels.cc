@@ -1,0 +1,171 @@
+// Distance-kernel microbench: serial scalar nearest-center assignment (the
+// pre-overhaul hot path) vs the blocked norm-cached kernel, single-threaded
+// and across the ParallelFor substrate. Emits BENCH_kernels.json so the
+// perf trajectory of the Õ(nd) accounting has machine-readable data.
+//
+// Honours FC_RUNS (repetitions; best-of is reported) and FC_SCALE (row
+// multiplier). FC_BENCH_THREADS (default 4) picks the threaded column.
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/parallel.h"
+#include "src/common/timer.h"
+#include "src/data/generators.h"
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+namespace {
+
+// The seed's scalar hot path, reproduced verbatim as the baseline: one
+// serial FindNearestCenter sweep (direct (x-c)^2 form, no norm caching,
+// no blocking, no threads).
+void SerialScalarAssign(const Matrix& points, const Matrix& centers,
+                        std::vector<size_t>* assignment,
+                        std::vector<double>* sq_dists) {
+  assignment->resize(points.rows());
+  sq_dists->resize(points.rows());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const NearestCenter nearest = FindNearestCenter(points.Row(i), centers);
+    (*assignment)[i] = nearest.index;
+    (*sq_dists)[i] = nearest.sq_dist;
+  }
+}
+
+struct Config {
+  size_t n, d, k;
+};
+
+struct Row {
+  Config config;
+  double serial_scalar_ms = 0.0;
+  double blocked_1t_ms = 0.0;
+  double blocked_mt_ms = 0.0;
+  bool outputs_match = false;
+  bool thread_invariant = false;
+};
+
+template <typename Fn>
+double BestOfRuns(int runs, const Fn& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < runs; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.Millis());
+  }
+  return best;
+}
+
+Row RunConfig(const Config& config, size_t threads, int runs, Rng& rng) {
+  const Matrix points = GenerateGaussianMixture(config.n, config.d,
+                                                /*kappa=*/config.k,
+                                                /*gamma=*/0.5, rng);
+  Matrix centers(config.k, config.d);
+  for (size_t c = 0; c < config.k; ++c) {
+    centers.CopyRowFrom(points, rng.NextIndex(points.rows()), c);
+  }
+
+  Row row;
+  row.config = config;
+  row.config.n = points.rows();  // Generators may round the row count.
+
+  std::vector<size_t> scalar_idx, blocked_idx, threaded_idx;
+  std::vector<double> scalar_sq, blocked_sq, threaded_sq;
+
+  row.serial_scalar_ms = BestOfRuns(runs, [&] {
+    SerialScalarAssign(points, centers, &scalar_idx, &scalar_sq);
+  });
+  SetNumThreads(1);
+  row.blocked_1t_ms = BestOfRuns(runs, [&] {
+    AssignToNearest(points, centers, &blocked_idx, &blocked_sq);
+  });
+  SetNumThreads(threads);
+  row.blocked_mt_ms = BestOfRuns(runs, [&] {
+    AssignToNearest(points, centers, &threaded_idx, &threaded_sq);
+  });
+  ResetNumThreads();
+
+  row.outputs_match = blocked_idx == scalar_idx;
+  row.thread_invariant =
+      blocked_idx == threaded_idx && blocked_sq == threaded_sq;
+  return row;
+}
+
+void WriteJson(const std::vector<Row>& rows, size_t threads,
+               const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"kernels\",\n  \"threads\": %zu,\n",
+               threads);
+  std::fprintf(out, "  \"configs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(
+        out,
+        "    {\"n\": %zu, \"d\": %zu, \"k\": %zu, "
+        "\"serial_scalar_ms\": %.3f, \"blocked_1t_ms\": %.3f, "
+        "\"blocked_%zut_ms\": %.3f, \"speedup_blocked_1t\": %.2f, "
+        "\"speedup_blocked_%zut\": %.2f, \"outputs_match\": %s, "
+        "\"thread_invariant\": %s}%s\n",
+        row.config.n, row.config.d, row.config.k, row.serial_scalar_ms,
+        row.blocked_1t_ms, threads, row.blocked_mt_ms,
+        row.serial_scalar_ms / row.blocked_1t_ms, threads,
+        row.serial_scalar_ms / row.blocked_mt_ms,
+        row.outputs_match ? "true" : "false",
+        row.thread_invariant ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace fastcoreset
+
+int main() {
+  using namespace fastcoreset;
+  const size_t threads =
+      static_cast<size_t>(EnvInt("FC_BENCH_THREADS", 4));
+  const int runs = std::max(1, bench::Runs());
+  const double scale = bench::Scale();
+
+  bench::Banner("Kernel bench — nearest-center assignment",
+                "blocked + threaded kernel beats the serial scalar path");
+
+  auto scaled = [&](size_t n) {
+    return std::max<size_t>(1000, static_cast<size_t>(n * scale));
+  };
+  const std::vector<Config> configs = {
+      {scaled(50000), 16, 10},
+      {scaled(50000), 32, 64},
+      {scaled(20000), 64, 128},
+  };
+
+  Rng rng(20240601);
+  std::vector<Row> rows;
+  std::printf("%10s %4s %5s | %10s %10s %10s | %7s %7s\n", "n", "d", "k",
+              "scalar ms", "blk 1t ms", "blk Nt ms", "x(1t)", "x(Nt)");
+  for (const Config& config : configs) {
+    const Row row = RunConfig(config, threads, runs, rng);
+    rows.push_back(row);
+    std::printf("%10zu %4zu %5zu | %10.2f %10.2f %10.2f | %7.2f %7.2f %s%s\n",
+                row.config.n, row.config.d, row.config.k,
+                row.serial_scalar_ms, row.blocked_1t_ms, row.blocked_mt_ms,
+                row.serial_scalar_ms / row.blocked_1t_ms,
+                row.serial_scalar_ms / row.blocked_mt_ms,
+                row.outputs_match ? "" : "[MISMATCH] ",
+                row.thread_invariant ? "" : "[THREAD-VARIANT]");
+  }
+
+  WriteJson(rows, threads, "BENCH_kernels.json");
+  std::printf("\nwrote BENCH_kernels.json (threads=%zu, runs=%d)\n", threads,
+              runs);
+  return 0;
+}

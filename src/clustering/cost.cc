@@ -1,5 +1,6 @@
 #include "src/clustering/cost.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/parallel.h"
@@ -27,11 +28,22 @@ double CostToCenters(const Matrix& points, const std::vector<double>& weights,
                      const Matrix& centers, int z) {
   FC_CHECK(z == 1 || z == 2);
   FC_CHECK(weights.empty() || weights.size() == points.rows());
+  const std::vector<double> center_sq_norms = centers.RowSquaredNorms();
   return ParallelReduce(points.rows(), [&](size_t begin, size_t end) {
+    // Small stack buffers so the chunk streams through the blocked kernel
+    // without touching the heap.
+    constexpr size_t kBuf = 256;
+    size_t index[kBuf];
+    double sq[kBuf];
     double partial = 0.0;
-    for (size_t i = begin; i < end; ++i) {
-      const NearestCenter nearest = FindNearestCenter(points.Row(i), centers);
-      partial += WeightAt(weights, i) * ApplyPower(nearest.sq_dist, z);
+    for (size_t b0 = begin; b0 < end; b0 += kBuf) {
+      const size_t b1 = std::min(end, b0 + kBuf);
+      BatchNearestCenter(points, b0, b1, centers, center_sq_norms,
+                         std::span<size_t>(index, b1 - b0),
+                         std::span<double>(sq, b1 - b0));
+      for (size_t i = b0; i < b1; ++i) {
+        partial += WeightAt(weights, i) * ApplyPower(sq[i - b0], z);
+      }
     }
     return partial;
   });
@@ -42,30 +54,39 @@ double AssignmentCost(const Matrix& points, const std::vector<double>& weights,
                       const std::vector<size_t>& assignment, int z) {
   FC_CHECK(z == 1 || z == 2);
   FC_CHECK_EQ(assignment.size(), points.rows());
-  double total = 0.0;
-  for (size_t i = 0; i < points.rows(); ++i) {
-    const double sq =
-        SquaredL2(points.Row(i), centers.Row(assignment[i]));
-    total += WeightAt(weights, i) * ApplyPower(sq, z);
-  }
-  return total;
+  return ParallelReduce(points.rows(), [&](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const double sq =
+          SquaredL2(points.Row(i), centers.Row(assignment[i]));
+      partial += WeightAt(weights, i) * ApplyPower(sq, z);
+    }
+    return partial;
+  });
 }
 
 void RefreshAssignment(const Matrix& points,
                        const std::vector<double>& weights,
                        Clustering* clustering) {
   FC_CHECK(clustering != nullptr);
-  clustering->assignment.resize(points.rows());
-  clustering->point_costs.resize(points.rows());
-  clustering->total_cost = 0.0;
-  for (size_t i = 0; i < points.rows(); ++i) {
-    const NearestCenter nearest =
-        FindNearestCenter(points.Row(i), clustering->centers);
-    clustering->assignment[i] = nearest.index;
-    clustering->point_costs[i] = ApplyPower(nearest.sq_dist, clustering->z);
-    clustering->total_cost +=
-        WeightAt(weights, i) * clustering->point_costs[i];
+  AssignToNearest(points, clustering->centers, &clustering->assignment,
+                  &clustering->point_costs);
+  const int z = clustering->z;
+  if (z == 1) {
+    ParallelFor(points.rows(), [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        clustering->point_costs[i] = std::sqrt(clustering->point_costs[i]);
+      }
+    });
   }
+  clustering->total_cost =
+      ParallelReduce(points.rows(), [&](size_t begin, size_t end) {
+        double partial = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          partial += WeightAt(weights, i) * clustering->point_costs[i];
+        }
+        return partial;
+      });
 }
 
 }  // namespace fastcoreset

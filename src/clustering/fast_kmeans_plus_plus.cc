@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/fenwick_tree.h"
+#include "src/common/parallel.h"
 #include "src/geometry/distance.h"
 #include "src/geometry/quadtree.h"
 
@@ -65,7 +66,7 @@ class TreeSeeder {
           const double dist_pow = z_ == 2 ? dist * dist : dist;
           for (uint32_t p : node.points) {
             if (cov_level_[p] >= u_level && cov_level_[p] != -1) continue;
-            cov_level_[p] = static_cast<int16_t>(u_level);
+            cov_level_[p] = u_level;
             assigned_[p] = static_cast<uint32_t>(ordinal);
             masses_.Set(p, WeightAt(weights_, p) * dist_pow);
           }
@@ -95,7 +96,11 @@ class TreeSeeder {
   const Quadtree& tree_;
   const int z_;
   std::vector<uint8_t> covered_;
-  std::vector<int16_t> cov_level_;
+  // Deepest covered-ancestor level per point, -1 = not covered yet. Kept
+  // as int32_t to match Quadtree::Node::level: a caller-supplied max_depth
+  // above INT16_MAX would make an int16_t wrap negative — level 65535
+  // would even collide with the -1 sentinel.
+  std::vector<int32_t> cov_level_;
   std::vector<uint32_t> assigned_;
   FenwickTree masses_;
   std::vector<size_t> center_points_;
@@ -133,14 +138,22 @@ Clustering FastKMeansPlusPlus(const Matrix& points,
         // (tree D^z). The tree distance dominates the Euclidean one, so
         // this is a valid acceptance probability; it reshapes the sampling
         // distribution toward true-metric D^z sampling.
+        const double tree_pow = seeder.MassOf(candidate);
+        if (tree_pow <= 0.0) {
+          // Zero remaining tree mass means the candidate is co-located
+          // with an existing center (covered). Accepting it would emit a
+          // duplicate center while uncovered points remain, so resample.
+          // Sample() only returns positive-mass slots, making this
+          // unreachable after a draw — it guards the entry state.
+          candidate = seeder.Sample(rng);
+          continue;
+        }
         const size_t assigned_center =
             seeder.center_points()[seeder.AssignedOrdinal(candidate)];
         const double true_pow = WeightAt(weights, candidate) *
                                 DistPow(points.Row(candidate),
                                         points.Row(assigned_center),
                                         options.z);
-        const double tree_pow = seeder.MassOf(candidate);
-        if (tree_pow <= 0.0) break;  // Defensive; sampled mass is > 0.
         if (rng.NextDouble() * tree_pow <= true_pow) break;
         candidate = seeder.Sample(rng);
       }
@@ -157,17 +170,20 @@ Clustering FastKMeansPlusPlus(const Matrix& points,
   }
 
   // Report Euclidean costs of the tree-derived assignment; this is what
-  // Fact 3.1 consumes.
+  // Fact 3.1 consumes. O(nd), with a chunk-order-deterministic total.
   result.assignment.resize(n);
   result.point_costs.resize(n);
-  result.total_cost = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    result.assignment[i] = seeder.AssignedOrdinal(i);
-    result.point_costs[i] =
-        DistPow(points.Row(i), result.centers.Row(result.assignment[i]),
-                options.z);
-    result.total_cost += WeightAt(weights, i) * result.point_costs[i];
-  }
+  result.total_cost = ParallelReduce(n, [&](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      result.assignment[i] = seeder.AssignedOrdinal(i);
+      result.point_costs[i] =
+          DistPow(points.Row(i), result.centers.Row(result.assignment[i]),
+                  options.z);
+      partial += WeightAt(weights, i) * result.point_costs[i];
+    }
+    return partial;
+  });
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
+#include "src/common/parallel.h"
 #include "src/geometry/distance.h"
 
 namespace fastcoreset {
@@ -31,25 +32,41 @@ Clustering KMeansParallel(const Matrix& points,
   candidates.push_back(weights.empty() ? rng.NextIndex(n)
                                        : rng.SampleDiscrete(weights));
 
-  // min_pow[i] = dist^z to the nearest candidate so far.
+  // min_pow[i] = dist^z to the nearest candidate so far. One fork-join
+  // per *batch* of candidates (not per candidate — the substrate has no
+  // pool, so each ParallelFor pays a thread spawn/join); min is
+  // order-independent, so batching leaves the result unchanged.
   std::vector<double> min_pow(n);
-  auto update_from = [&](size_t candidate) {
-    const auto row = points.Row(candidate);
-    for (size_t i = 0; i < n; ++i) {
-      const double pow_dist = DistPow(points.Row(i), row, options.z);
-      if (pow_dist < min_pow[i]) min_pow[i] = pow_dist;
-    }
+  auto update_from = [&](const std::vector<size_t>& batch) {
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        double best = min_pow[i];
+        for (size_t candidate : batch) {
+          const double pow_dist =
+              DistPow(points.Row(i), points.Row(candidate), options.z);
+          if (pow_dist < best) best = pow_dist;
+        }
+        min_pow[i] = best;
+      }
+    });
   };
   {
     const auto row = points.Row(candidates[0]);
-    for (size_t i = 0; i < n; ++i) {
-      min_pow[i] = DistPow(points.Row(i), row, options.z);
-    }
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        min_pow[i] = DistPow(points.Row(i), row, options.z);
+      }
+    });
   }
 
   for (int round = 0; round < options.rounds; ++round) {
-    double total = 0.0;
-    for (size_t i = 0; i < n; ++i) total += WeightAt(weights, i) * min_pow[i];
+    const double total = ParallelReduce(n, [&](size_t begin, size_t end) {
+      double partial = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        partial += WeightAt(weights, i) * min_pow[i];
+      }
+      return partial;
+    });
     if (total <= 0.0) break;  // All points covered exactly.
     const double scale = static_cast<double>(l) / total;
     std::vector<size_t> fresh;
@@ -59,10 +76,9 @@ Clustering KMeansParallel(const Matrix& points,
         fresh.push_back(i);
       }
     }
-    for (size_t candidate : fresh) {
-      candidates.push_back(candidate);
-      update_from(candidate);
-    }
+    if (fresh.empty()) continue;
+    candidates.insert(candidates.end(), fresh.begin(), fresh.end());
+    update_from(fresh);
   }
 
   // Weight candidates by the mass they attract, then recluster to k.

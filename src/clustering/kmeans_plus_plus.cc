@@ -1,7 +1,9 @@
 #include "src/clustering/kmeans_plus_plus.h"
 
 #include <cmath>
+#include <cstdint>
 
+#include "src/common/parallel.h"
 #include "src/geometry/distance.h"
 
 namespace fastcoreset {
@@ -32,6 +34,7 @@ Clustering KMeansPlusPlus(const Matrix& points,
   // min_sq[i] = squared distance to the closest chosen center so far.
   std::vector<double> min_sq(n, 0.0);
   std::vector<double> masses(n, 0.0);
+  std::vector<uint8_t> chosen(n, 0);
 
   // First center: proportional to the weights alone.
   size_t first;
@@ -40,43 +43,83 @@ Clustering KMeansPlusPlus(const Matrix& points,
   } else {
     first = rng.SampleDiscrete(weights);
   }
+  chosen[first] = 1;
   result.centers.CopyRowFrom(points, first, 0);
-  for (size_t i = 0; i < n; ++i) {
-    min_sq[i] = SquaredL2(points.Row(i), points.Row(first));
+  {
+    const auto center = points.Row(first);
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        min_sq[i] = SquaredL2(points.Row(i), center);
+      }
+    });
   }
 
   for (size_t c = 1; c < k; ++c) {
-    double total = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      const double d = z == 2 ? min_sq[i] : std::sqrt(min_sq[i]);
-      masses[i] = WeightAt(weights, i) * d;
-      total += masses[i];
-    }
+    // Mass rebuild: fill masses and reduce their total in one pass (the
+    // side-effect writes are disjoint per index, so ParallelReduce's
+    // chunk-ordered merge keeps the total thread-invariant).
+    const double total = ParallelReduce(n, [&](size_t begin, size_t end) {
+      double partial = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        const double d = z == 2 ? min_sq[i] : std::sqrt(min_sq[i]);
+        masses[i] = WeightAt(weights, i) * d;
+        partial += masses[i];
+      }
+      return partial;
+    });
+
     size_t next;
     if (total <= 0.0) {
-      // All mass on existing centers (duplicated points): fall back to a
-      // weight-proportional draw so we still return k centers.
-      next = weights.empty() ? rng.NextIndex(n) : rng.SampleDiscrete(weights);
+      // All mass sits on already-chosen centers (duplicated points). Draw
+      // weight-proportionally among the *unchosen* indices only — a plain
+      // redraw could return an index that is already a center, silently
+      // shrinking the effective center set below k.
+      std::vector<size_t> unchosen;
+      unchosen.reserve(n - c);
+      double unchosen_weight = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!chosen[i]) {
+          unchosen.push_back(i);
+          unchosen_weight += WeightAt(weights, i);
+        }
+      }
+      FC_DCHECK(!unchosen.empty());  // c < k <= n distinct chosen indices.
+      if (unchosen_weight > 0.0 && !weights.empty()) {
+        std::vector<double> sub(unchosen.size());
+        for (size_t u = 0; u < unchosen.size(); ++u) {
+          sub[u] = weights[unchosen[u]];
+        }
+        next = unchosen[rng.SampleDiscrete(sub)];
+      } else {
+        // Unit weights, or every unchosen point has zero weight: uniform.
+        next = unchosen[rng.NextIndex(unchosen.size())];
+      }
     } else {
       next = rng.SampleDiscrete(masses);
     }
+    chosen[next] = 1;
     result.centers.CopyRowFrom(points, next, c);
     const auto center = result.centers.Row(c);
-    for (size_t i = 0; i < n; ++i) {
-      const double sq = SquaredL2(points.Row(i), center);
-      if (sq < min_sq[i]) {
-        min_sq[i] = sq;
-        result.assignment[i] = c;
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const double sq = SquaredL2(points.Row(i), center);
+        if (sq < min_sq[i]) {
+          min_sq[i] = sq;
+          result.assignment[i] = c;
+        }
       }
-    }
+    });
   }
 
   result.point_costs.resize(n);
-  result.total_cost = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    result.point_costs[i] = z == 2 ? min_sq[i] : std::sqrt(min_sq[i]);
-    result.total_cost += WeightAt(weights, i) * result.point_costs[i];
-  }
+  result.total_cost = ParallelReduce(n, [&](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      result.point_costs[i] = z == 2 ? min_sq[i] : std::sqrt(min_sq[i]);
+      partial += WeightAt(weights, i) * result.point_costs[i];
+    }
+    return partial;
+  });
   return result;
 }
 

@@ -65,8 +65,23 @@ class FenwickTree {
       }
     }
     // pos is the count of slots whose cumulative mass is <= target, i.e.
-    // the sampled index. Guard against floating-point drift past the end.
+    // the sampled index. Floating-point drift (target rounding up to
+    // Total()) can push pos past the end or onto a slot whose own mass is
+    // zero — a slot that exact arithmetic can never select and whose
+    // selection corrupts the sampling distribution (e.g. a covered point
+    // in Fast-kmeans++). Clamp, then step to the nearest positive slot:
+    // backward first (a zero slot shares its prefix sum with its
+    // predecessor, so the overshot mass belongs to an earlier slot),
+    // forward only if the whole prefix is massless.
     if (pos >= values_.size()) pos = values_.size() - 1;
+    if (values_[pos] == 0.0) {
+      size_t back = pos;
+      while (back > 0 && values_[back] == 0.0) --back;
+      if (values_[back] > 0.0) return back;
+      size_t fwd = pos;
+      while (fwd + 1 < values_.size() && values_[fwd] == 0.0) ++fwd;
+      return fwd;
+    }
     return pos;
   }
 

@@ -13,10 +13,10 @@ namespace {
 // (default 1, serial) until SetNumThreads is called.
 std::atomic<size_t> g_num_threads{0};
 
-// Upper bound on the env-supplied worker count: ParallelFor spawns this
-// many OS threads per call, so an accidental FC_THREADS=100000 must not
-// turn into 100000 std::thread constructions (std::system_error ->
-// std::terminate).
+// Upper bound on the env-supplied worker count: ParallelForChunks spawns
+// up to this many OS threads per call, so an accidental FC_THREADS=100000
+// must not turn into 100000 std::thread constructions (std::system_error
+// -> std::terminate).
 constexpr size_t kMaxEnvThreads = 256;
 
 size_t EnvDefaultThreads() {
@@ -32,18 +32,30 @@ size_t EnvDefaultThreads() {
   return value;
 }
 
-// Below this many items the thread spawn overhead dominates.
+// Below this many items the chunking/thread overhead dominates.
 constexpr size_t kSerialCutoff = 4096;
+
+// Target chunk length. Equal to the serial cutoff so any range past the
+// cutoff splits into at least two chunks (threads have work as soon as
+// chunking kicks in); large enough that per-chunk dispatch is noise.
+constexpr size_t kChunkSize = kSerialCutoff;
+
+// Cap on the chunk count so per-chunk scratch (reduction partials) stays
+// bounded on huge inputs.
+constexpr size_t kMaxChunks = 1024;
 
 struct ChunkPlan {
   size_t chunks = 1;
   size_t chunk_size = 0;
 };
 
+// The plan is a function of n ALONE. Thread count affects only which
+// worker runs which chunk, never the chunk boundaries — that is the whole
+// determinism story (see parallel.h).
 ChunkPlan PlanChunks(size_t n) {
-  const size_t workers = GetNumThreads();
-  if (workers <= 1 || n < kSerialCutoff) return {1, n};
-  const size_t chunks = std::min(workers, n);
+  if (n < kSerialCutoff) return {1, n};
+  const size_t chunks =
+      std::min(kMaxChunks, (n + kChunkSize - 1) / kChunkSize);
   return {chunks, (n + chunks - 1) / chunks};
 }
 
@@ -64,40 +76,56 @@ size_t GetNumThreads() {
   return set == 0 ? EnvDefaultThreads() : set;
 }
 
-void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
+size_t ParallelChunkCount(size_t n) { return n == 0 ? 0 : PlanChunks(n).chunks; }
+
+void ParallelForChunks(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& body) {
   if (n == 0) return;
   const ChunkPlan plan = PlanChunks(n);
-  if (plan.chunks == 1) {
-    body(0, n);
+  const size_t workers = std::min(GetNumThreads(), plan.chunks);
+  if (workers <= 1) {
+    for (size_t c = 0; c < plan.chunks; ++c) {
+      const size_t begin = c * plan.chunk_size;
+      const size_t end = std::min(n, begin + plan.chunk_size);
+      if (begin >= end) break;
+      body(c, begin, end);
+    }
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(plan.chunks);
-  for (size_t c = 0; c < plan.chunks; ++c) {
-    const size_t begin = c * plan.chunk_size;
-    const size_t end = std::min(n, begin + plan.chunk_size);
-    if (begin >= end) break;
-    workers.emplace_back([&body, begin, end] { body(begin, end); });
-  }
-  for (auto& worker : workers) worker.join();
+  // Work-stealing over a shared chunk counter: chunk boundaries are fixed,
+  // so the (nondeterministic) executor-to-chunk mapping is invisible in
+  // the results.
+  std::atomic<size_t> next_chunk{0};
+  auto run = [&] {
+    for (size_t c = next_chunk.fetch_add(1); c < plan.chunks;
+         c = next_chunk.fetch_add(1)) {
+      const size_t begin = c * plan.chunk_size;
+      const size_t end = std::min(n, begin + plan.chunk_size);
+      if (begin >= end) continue;
+      body(c, begin, end);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t t = 1; t < workers; ++t) threads.emplace_back(run);
+  run();
+  for (auto& thread : threads) thread.join();
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
+  ParallelForChunks(
+      n, [&body](size_t /*chunk*/, size_t begin, size_t end) {
+        body(begin, end);
+      });
 }
 
 double ParallelReduce(size_t n,
                       const std::function<double(size_t, size_t)>& body) {
   if (n == 0) return 0.0;
-  const ChunkPlan plan = PlanChunks(n);
-  if (plan.chunks == 1) return body(0, n);
-  std::vector<double> partials(plan.chunks, 0.0);
-  std::vector<std::thread> workers;
-  workers.reserve(plan.chunks);
-  for (size_t c = 0; c < plan.chunks; ++c) {
-    const size_t begin = c * plan.chunk_size;
-    const size_t end = std::min(n, begin + plan.chunk_size);
-    if (begin >= end) break;
-    workers.emplace_back(
-        [&body, &partials, c, begin, end] { partials[c] = body(begin, end); });
-  }
-  for (auto& worker : workers) worker.join();
+  std::vector<double> partials(ParallelChunkCount(n), 0.0);
+  ParallelForChunks(n, [&](size_t chunk, size_t begin, size_t end) {
+    partials[chunk] = body(begin, end);
+  });
   double total = 0.0;
   for (double partial : partials) total += partial;  // Fixed chunk order.
   return total;

@@ -1,8 +1,11 @@
 // Minimal data-parallel substrate. The heavy kernels (nearest-center
 // assignment, cost evaluation) are embarrassingly parallel over points;
-// ParallelFor splits the index range into deterministic contiguous chunks
-// and ParallelReduce combines per-chunk partial results in chunk order, so
-// results are bit-identical for a fixed thread count.
+// the range [0, n) is partitioned into contiguous chunks whose geometry
+// depends ONLY on n — never on the worker count — and reductions combine
+// per-chunk partials in chunk index order. Worker threads merely decide
+// *who executes* a chunk, not what the chunk is, so as long as the chunk
+// bodies are pure (no shared RNG, disjoint writes) every result is
+// bit-identical for ANY thread count, not just for a fixed one.
 //
 // Parallelism is opt-in: the global thread count defaults to 1 (serial),
 // keeping single-threaded reproducibility unless the caller calls
@@ -32,14 +35,27 @@ void ResetNumThreads();
 /// Current global worker count (>= 1).
 size_t GetNumThreads();
 
-/// Runs body(begin, end) over a partition of [0, n) across the global
-/// worker count. Chunks are contiguous and deterministic. Serial when the
-/// worker count is 1 or the range is small.
+/// Number of chunks [0, n) is partitioned into. A function of n alone:
+/// callers sizing per-chunk scratch get the same layout at every thread
+/// count, which is what makes chunk-ordered merges thread-invariant.
+size_t ParallelChunkCount(size_t n);
+
+/// Runs body(chunk, begin, end) once per chunk of [0, n). Chunks are
+/// contiguous, cover the range exactly, and are numbered in range order.
+/// Execution may be concurrent and in any order; chunk geometry is fixed
+/// by n (see ParallelChunkCount). This is the primitive for deterministic
+/// reductions: write per-chunk partials indexed by `chunk`, then merge
+/// them serially in chunk order after the call returns.
+void ParallelForChunks(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& body);
+
+/// Runs body(begin, end) over the chunk partition of [0, n). Serial when
+/// the worker count is 1 or the range is below the serial cutoff.
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
 
 /// Parallel sum reduction: body(begin, end) returns the partial value for
-/// its chunk; partials are added in chunk order (deterministic for a
-/// fixed thread count).
+/// its chunk; partials are added in chunk order, so the result is
+/// bit-identical at any thread count.
 double ParallelReduce(size_t n,
                       const std::function<double(size_t, size_t)>& body);
 

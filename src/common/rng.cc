@@ -31,6 +31,11 @@ size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
   FC_CHECK_MSG(total > 0.0, "all sampling weights are zero");
   double target = NextDouble() * total;
   for (size_t i = 0; i < weights.size(); ++i) {
+    // Zero-weight slots are unsampleable: without the skip, a target of
+    // exactly 0.0 (NextDouble() can return 0) would select a leading
+    // zero-weight slot — the same zero-mass boundary class fixed in
+    // FenwickTree::UpperBound and SampleByImportance.
+    if (weights[i] <= 0.0) continue;
     target -= weights[i];
     if (target <= 0.0) return i;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "src/common/parallel.h"
 #include "src/geometry/distance.h"
 
 namespace fastcoreset {
@@ -26,13 +27,21 @@ ImportanceScores ComputeSensitivities(const Matrix& points,
   FC_CHECK(z == 1 || z == 2);
   FC_CHECK(weights.empty() || weights.size() == n);
 
+  // The O(nd) distance pass runs on the parallel substrate; the O(n)
+  // cluster accumulations stay serial so their summation order (and thus
+  // every downstream sampling decision) is thread-invariant.
   std::vector<double> point_cost(n);
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const size_t c = assignment[i];
+      FC_DCHECK(c < k);
+      point_cost[i] = DistPow(points.Row(i), centers.Row(c), z);
+    }
+  });
   std::vector<double> cluster_cost(k, 0.0);
   std::vector<double> cluster_weight(k, 0.0);
   for (size_t i = 0; i < n; ++i) {
     const size_t c = assignment[i];
-    FC_DCHECK(c < k);
-    point_cost[i] = DistPow(points.Row(i), centers.Row(c), z);
     const double w = WeightAt(weights, i);
     cluster_cost[c] += w * point_cost[i];
     cluster_weight[c] += w;
@@ -40,17 +49,21 @@ ImportanceScores ComputeSensitivities(const Matrix& points,
 
   ImportanceScores scores;
   scores.sigma.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    const size_t c = assignment[i];
-    const double w = WeightAt(weights, i);
-    double sigma = 0.0;
-    if (cluster_cost[c] > 0.0) sigma += w * point_cost[i] / cluster_cost[c];
-    // cluster_weight > 0 because point i itself belongs to the cluster
-    // (w may be 0 for zero-weight points; then sigma is 0, correctly).
-    if (cluster_weight[c] > 0.0) sigma += w / cluster_weight[c];
-    scores.sigma[i] = sigma;
-    scores.total += sigma;
-  }
+  scores.total = ParallelReduce(n, [&](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      const size_t c = assignment[i];
+      const double w = WeightAt(weights, i);
+      double sigma = 0.0;
+      if (cluster_cost[c] > 0.0) sigma += w * point_cost[i] / cluster_cost[c];
+      // cluster_weight > 0 because point i itself belongs to the cluster
+      // (w may be 0 for zero-weight points; then sigma is 0, correctly).
+      if (cluster_weight[c] > 0.0) sigma += w / cluster_weight[c];
+      scores.sigma[i] = sigma;
+      partial += sigma;
+    }
+    return partial;
+  });
   return scores;
 }
 
@@ -74,11 +87,23 @@ Coreset SampleByImportance(const Matrix& points,
   double cumulative = 0.0;
   size_t point = 0;
   for (double target : targets) {
-    while (point + 1 < n && cumulative + scores.sigma[point] < target) {
+    // A sigma == 0 point owns a zero-width interval of the cumulative
+    // distribution, so exact arithmetic can never select it — but a target
+    // drifting onto an interval boundary (or past the final prefix sum)
+    // can. Its coreset weight would divide by sigma, so zero-sigma slots
+    // are skipped while sweeping forward and, if the sweep still ends on
+    // one (trailing zero-weight points), the hit is attributed to the
+    // nearest preceding positive-sigma point.
+    while (point + 1 < n && (scores.sigma[point] == 0.0 ||
+                             cumulative + scores.sigma[point] < target)) {
       cumulative += scores.sigma[point];
       ++point;
     }
-    ++hits[point];
+    size_t landed = point;
+    while (landed > 0 && scores.sigma[landed] == 0.0) --landed;
+    FC_CHECK_MSG(scores.sigma[landed] > 0.0,
+                 "importance sweep found no positive-sigma point");
+    ++hits[landed];
   }
 
   Coreset coreset;

@@ -1,5 +1,6 @@
 #include "src/geometry/distance.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -42,18 +43,194 @@ NearestCenter FindNearestCenter(std::span<const double> point,
   return best;
 }
 
+namespace {
+
+// Rows of points processed per block: the block's per-tile accumulator
+// panel (kPointBlock x kCenterTile doubles) stays in L1 while a center
+// tile streams through.
+constexpr size_t kPointBlock = 64;
+// Centers per tile = SIMD lanes of the accumulator panel. 16 doubles span
+// 8 SSE2 / 4 AVX2 / 2 AVX-512 registers — few enough that the per-point
+// accumulator row lives entirely in registers during the strip loop.
+constexpr size_t kCenterTile = 16;
+// Feature dimensions per strip: bounds the transposed center scratch
+// (kDimStrip * kCenterTile doubles, 8 KiB) so it stays on the stack.
+constexpr size_t kDimStrip = 64;
+
+// Dot product with eight independent accumulators. A single-accumulator
+// reduction serializes on the FP add latency (the compiler may not
+// reassociate floating-point sums), capping throughput at ~1 element per
+// 4 cycles; independent chains expose the ILP/SIMD the hardware has. The
+// accumulator count and final summation order are fixed, so results are
+// identical on every run and thread count (though not bit-equal to the
+// single-chain SquaredL2 — hence the tolerance-based property tests).
+inline double DotUnrolled(const double* a, const double* b, size_t d) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  double acc4 = 0.0, acc5 = 0.0, acc6 = 0.0, acc7 = 0.0;
+  size_t j = 0;
+  for (; j + 8 <= d; j += 8) {
+    acc0 += a[j] * b[j];
+    acc1 += a[j + 1] * b[j + 1];
+    acc2 += a[j + 2] * b[j + 2];
+    acc3 += a[j + 3] * b[j + 3];
+    acc4 += a[j + 4] * b[j + 4];
+    acc5 += a[j + 5] * b[j + 5];
+    acc6 += a[j + 6] * b[j + 6];
+    acc7 += a[j + 7] * b[j + 7];
+  }
+  for (; j < d; ++j) acc0 += a[j] * b[j];
+  return ((acc0 + acc1) + (acc2 + acc3)) + ((acc4 + acc5) + (acc6 + acc7));
+}
+
+}  // namespace
+
+// The kernel is compiled once for the baseline ISA and once for
+// x86-64-v3 (AVX2 + FMA), dispatched by the loader via ifunc. Which clone
+// runs is a property of the machine, not of the thread count or chunking,
+// so determinism at fixed hardware is unaffected (FMA contraction does
+// round differently across *machines* — bit-reproducibility was only ever
+// promised per binary per host).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__)
+#define FC_TARGET_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3")))
+#else
+#define FC_TARGET_CLONES
+#endif
+
+FC_TARGET_CLONES
+void BatchNearestCenter(const Matrix& points, size_t row_begin,
+                        size_t row_end, const Matrix& centers,
+                        std::span<const double> center_sq_norms,
+                        std::span<size_t> out_index,
+                        std::span<double> out_sq_dist) {
+  FC_DCHECK(row_begin <= row_end && row_end <= points.rows());
+  FC_DCHECK(points.cols() == centers.cols());
+  FC_DCHECK(center_sq_norms.size() == centers.rows());
+  FC_DCHECK(out_index.size() >= row_end - row_begin);
+  FC_DCHECK(out_sq_dist.size() >= row_end - row_begin);
+  FC_CHECK_GT(centers.rows(), 0u);
+  const size_t d = points.cols();
+  const size_t k = centers.rows();
+  const double* point_data = points.data().data();
+  const double* center_data = centers.data().data();
+
+  // Per-block state: best g(c) = ‖c‖² − 2x·c (argmin over c of ‖x − c‖²
+  // equals argmin of g, the ‖x‖² term being constant per point).
+  double best_g[kPointBlock];
+  size_t best_idx[kPointBlock];
+  // Transposed strip of the current center tile: ct[j][c] lays the tile's
+  // lane-c coordinate j contiguously in c, so the inner loop is a
+  // broadcast-x[j] * contiguous-load FMA into register-resident lanes.
+  double ct[kDimStrip][kCenterTile];
+  // dots[i][c] accumulates x_i · c over the strip loop.
+  double dots[kPointBlock][kCenterTile];
+
+  for (size_t b0 = row_begin; b0 < row_end; b0 += kPointBlock) {
+    const size_t b1 = std::min(row_end, b0 + kPointBlock);
+    const size_t block = b1 - b0;
+    std::fill_n(best_g, block, std::numeric_limits<double>::infinity());
+    std::fill_n(best_idx, block, size_t{0});
+
+    for (size_t c0 = 0; c0 < k; c0 += kCenterTile) {
+      const size_t tile = std::min(kCenterTile, k - c0);
+      // dots needs no prefill: the first strip (j0 == 0) starts its
+      // accumulators at zero and stores, later strips accumulate on top.
+      for (size_t j0 = 0; j0 < d; j0 += kDimStrip) {
+        const size_t strip = std::min(kDimStrip, d - j0);
+        // Transpose the (tile x strip) center panel; unused lanes stay 0
+        // and accumulate 0, so the hot loop is branch-free at full width.
+        for (size_t j = 0; j < strip; ++j) {
+          for (size_t c = 0; c < kCenterTile; ++c) ct[j][c] = 0.0;
+        }
+        for (size_t c = 0; c < tile; ++c) {
+          const double* row = center_data + (c0 + c) * d + j0;
+          for (size_t j = 0; j < strip; ++j) ct[j][c] = row[j];
+        }
+        for (size_t i = 0; i < block; ++i) {
+          const double* x = point_data + (b0 + i) * d + j0;
+          double* di = dots[i];
+#if defined(__GNUC__) || defined(__clang__)
+          // Explicit SIMD via vector extensions: GCC neither
+          // scalar-replaces a 16-double accumulator array nor keeps its
+          // SLP-packed form in registers across the j loop (it reloads
+          // and respills every lane each iteration). Vector-typed SSA
+          // values are register-allocated like scalars. aligned(8) makes
+          // the deref of 8-byte-aligned rows legal (emits vmovupd).
+          typedef double v4df
+              __attribute__((vector_size(32), aligned(8)));
+          v4df acc0 = {0.0, 0.0, 0.0, 0.0};
+          v4df acc1 = acc0, acc2 = acc0, acc3 = acc0;
+          if (j0 != 0) {
+            acc0 = *reinterpret_cast<const v4df*>(di);
+            acc1 = *reinterpret_cast<const v4df*>(di + 4);
+            acc2 = *reinterpret_cast<const v4df*>(di + 8);
+            acc3 = *reinterpret_cast<const v4df*>(di + 12);
+          }
+          for (size_t j = 0; j < strip; ++j) {
+            const double xj = x[j];
+            const v4df xv = {xj, xj, xj, xj};
+            const double* ctj = ct[j];
+            acc0 += xv * *reinterpret_cast<const v4df*>(ctj);
+            acc1 += xv * *reinterpret_cast<const v4df*>(ctj + 4);
+            acc2 += xv * *reinterpret_cast<const v4df*>(ctj + 8);
+            acc3 += xv * *reinterpret_cast<const v4df*>(ctj + 12);
+          }
+          *reinterpret_cast<v4df*>(di) = acc0;
+          *reinterpret_cast<v4df*>(di + 4) = acc1;
+          *reinterpret_cast<v4df*>(di + 8) = acc2;
+          *reinterpret_cast<v4df*>(di + 12) = acc3;
+#else
+          if (j0 == 0) std::fill_n(di, kCenterTile, 0.0);
+          for (size_t j = 0; j < strip; ++j) {
+            const double xj = x[j];
+            const double* ctj = ct[j];
+            for (size_t c = 0; c < kCenterTile; ++c) di[c] += xj * ctj[c];
+          }
+#endif
+        }
+      }
+      // Fold the finished tile into the running argmin. Strict < with
+      // ascending c keeps FindNearestCenter's tie-breaking (lowest center
+      // index wins).
+      for (size_t i = 0; i < block; ++i) {
+        double local_best = best_g[i];
+        size_t local_idx = best_idx[i];
+        for (size_t c = 0; c < tile; ++c) {
+          const double g = center_sq_norms[c0 + c] - 2.0 * dots[i][c];
+          if (g < local_best) {
+            local_best = g;
+            local_idx = c0 + c;
+          }
+        }
+        best_g[i] = local_best;
+        best_idx[i] = local_idx;
+      }
+    }
+
+    for (size_t i = 0; i < block; ++i) {
+      const double* x = point_data + (b0 + i) * d;
+      const double x_norm = DotUnrolled(x, x, d);
+      out_index[b0 + i - row_begin] = best_idx[i];
+      // The expanded form can round slightly negative for coincident rows.
+      out_sq_dist[b0 + i - row_begin] = std::max(0.0, x_norm + best_g[i]);
+    }
+  }
+}
+
 void AssignToNearest(const Matrix& points, const Matrix& centers,
                      std::vector<size_t>* assignment,
                      std::vector<double>* sq_dists) {
   FC_CHECK_EQ(points.cols(), centers.cols());
   assignment->resize(points.rows());
   sq_dists->resize(points.rows());
+  const std::vector<double> center_sq_norms = centers.RowSquaredNorms();
   ParallelFor(points.rows(), [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const NearestCenter nearest = FindNearestCenter(points.Row(i), centers);
-      (*assignment)[i] = nearest.index;
-      (*sq_dists)[i] = nearest.sq_dist;
-    }
+    BatchNearestCenter(points, begin, end, centers, center_sq_norms,
+                       std::span<size_t>(assignment->data() + begin,
+                                         end - begin),
+                       std::span<double>(sq_dists->data() + begin,
+                                         end - begin));
   });
 }
 

@@ -1,6 +1,23 @@
 // Distance kernels. The library works with powers z in {1, 2}:
 // z = 1 is k-median (plain Euclidean distance), z = 2 is k-means
 // (squared Euclidean distance).
+//
+// Two tiers:
+//   - Scalar reference kernels (SquaredL2, FindNearestCenter): one point
+//     against one/all centers via the direct (x - c)^2 form. Exact and
+//     simple; used for small inputs and as the ground truth the property
+//     tests compare against.
+//   - Blocked batched kernel (BatchNearestCenter): processes a block of
+//     point rows against a cache-resident tile of centers using the
+//     norm-cached form ‖x − c‖² = ‖x‖² − 2x·c + ‖c‖². The inner loop is a
+//     contiguous dot product (one fma per element after vectorization,
+//     versus sub+mul+add for the direct form) and each center tile is
+//     reused across the whole point block. Every O(nkd) consumer in the
+//     library routes through this kernel via ParallelFor.
+//
+// The batched kernel is deterministic: a point's result depends only on
+// the point and the centers, never on block or chunk boundaries, so
+// outputs are bit-identical at any FC_THREADS.
 
 #ifndef FASTCORESET_GEOMETRY_DISTANCE_H_
 #define FASTCORESET_GEOMETRY_DISTANCE_H_
@@ -28,12 +45,26 @@ struct NearestCenter {
   double sq_dist = 0.;  ///< Squared Euclidean distance to it.
 };
 
-/// Nearest row of `centers` to `point` (brute force over centers).
+/// Nearest row of `centers` to `point` (scalar brute force over centers).
 NearestCenter FindNearestCenter(std::span<const double> point,
                                 const Matrix& centers);
 
+/// Blocked nearest-center kernel over the point rows [row_begin, row_end).
+/// `center_sq_norms` must be centers.RowSquaredNorms(). Results for row i
+/// land at out_index[i - row_begin] / out_sq_dist[i - row_begin] (both
+/// spans sized row_end - row_begin). Ties break toward the lower center
+/// index, matching FindNearestCenter; squared distances are computed in
+/// the norm-cached form and clamped at zero, so they match the scalar
+/// kernel to floating-point tolerance (not bit-exactly).
+void BatchNearestCenter(const Matrix& points, size_t row_begin,
+                        size_t row_end, const Matrix& centers,
+                        std::span<const double> center_sq_norms,
+                        std::span<size_t> out_index,
+                        std::span<double> out_sq_dist);
+
 /// For every row of `points`, the nearest row of `centers`.
 /// Writes assignment indices and squared distances (vectors are resized).
+/// Runs the blocked kernel across the ParallelFor substrate.
 void AssignToNearest(const Matrix& points, const Matrix& centers,
                      std::vector<size_t>* assignment,
                      std::vector<double>* sq_dists);

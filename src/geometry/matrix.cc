@@ -27,6 +27,17 @@ void Matrix::AppendRows(const Matrix& other) {
   rows_ += other.rows_;
 }
 
+std::vector<double> Matrix::RowSquaredNorms() const {
+  std::vector<double> norms(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = data_.data() + i * cols_;
+    double sum = 0.0;
+    for (size_t j = 0; j < cols_; ++j) sum += row[j] * row[j];
+    norms[i] = sum;
+  }
+  return norms;
+}
+
 std::vector<double> Matrix::ColumnMeans() const {
   FC_CHECK_GT(rows_, 0u);
   std::vector<double> means(cols_, 0.0);

@@ -68,6 +68,10 @@ class Matrix {
   /// Mean of all rows (the 1-mean / centroid). Requires rows() > 0.
   std::vector<double> ColumnMeans() const;
 
+  /// Squared L2 norm of every row. Feeds the norm-cached distance form
+  /// ‖x − c‖² = ‖x‖² − 2x·c + ‖c‖² used by the batched kernels.
+  std::vector<double> RowSquaredNorms() const;
+
  private:
   size_t rows_;
   size_t cols_;

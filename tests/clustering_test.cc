@@ -105,6 +105,42 @@ TEST(KMeansPlusPlusTest, KGreaterThanNReturnsAllPoints) {
   EXPECT_NEAR(result.total_cost, 0.0, 1e-9);
 }
 
+TEST(KMeansPlusPlusTest, AllDuplicatePointsYieldDistinctIndexCenters) {
+  // k == n with every point identical: the D^z mass is zero after the
+  // first draw, so every remaining center comes from the fallback. It
+  // must pick k distinct indices (k centers, cost 0) without spinning.
+  Matrix points(3, 2);
+  for (double& x : points.data()) x = 7.0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const Clustering result = KMeansPlusPlus(points, {}, 3, 2, rng);
+    EXPECT_EQ(result.centers.rows(), 3u);
+    EXPECT_NEAR(result.total_cost, 0.0, 1e-12);
+  }
+}
+
+TEST(KMeansPlusPlusTest, ZeroMassFallbackDoesNotRedrawChosenCenter) {
+  // Regression: {a, a, a, b} with k = 3. After {a, b} are chosen the
+  // remaining mass is zero and the third center comes from the fallback,
+  // which used to draw over *all* indices — re-picking b's index with
+  // probability 1/4 and emitting the unique point b as a duplicate
+  // center. Excluding chosen indices, b can appear exactly once.
+  Matrix points(4, 2);
+  points.At(3, 0) = 5.0;
+  points.At(3, 1) = 5.0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const Clustering result = KMeansPlusPlus(points, {}, 3, 2, rng);
+    ASSERT_EQ(result.centers.rows(), 3u);
+    int b_rows = 0;
+    for (size_t c = 0; c < 3; ++c) {
+      if (result.centers.At(c, 0) == 5.0) ++b_rows;
+    }
+    EXPECT_EQ(b_rows, 1) << "seed " << seed;
+    EXPECT_NEAR(result.total_cost, 0.0, 1e-12);
+  }
+}
+
 TEST(KMeansPlusPlusTest, WeightsBiasSeeding) {
   // Two distant locations; one has overwhelming weight. The first center
   // lands there almost surely.
@@ -203,6 +239,32 @@ TEST(FastKMeansPlusPlusTest, FewerDistinctPointsThanK) {
   EXPECT_LE(result.centers.rows(), 6u);
   EXPECT_GE(result.centers.rows(), 3u);
   EXPECT_LT(result.total_cost, 1e-6);
+}
+
+TEST(FastKMeansPlusPlusTest, DuplicatedPointsNeverYieldDuplicateCenters) {
+  // Regression companion to the FenwickTree zero-mass fix: with heavy
+  // exact duplication, a covered point sampled through float drift used
+  // to be accepted as a center, silently duplicating an existing one
+  // while uncovered points remained. Three distinct locations, each
+  // duplicated five-fold, k = 3: the seeder must return three *distinct*
+  // centers every time.
+  Matrix points(15, 2);
+  for (size_t g = 0; g < 3; ++g) {
+    for (size_t r = 0; r < 5; ++r) {
+      points.At(g * 5 + r, 0) = static_cast<double>(g) * 10.0;
+      points.At(g * 5 + r, 1) = 1.0;
+    }
+  }
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    const Clustering result =
+        FastKMeansPlusPlus(points, {}, 3, FastKMeansPlusPlusOptions{}, rng);
+    ASSERT_EQ(result.centers.rows(), 3u);
+    std::set<double> xs;
+    for (size_t c = 0; c < 3; ++c) xs.insert(result.centers.At(c, 0));
+    EXPECT_EQ(xs.size(), 3u) << "seed " << seed;
+    EXPECT_NEAR(result.total_cost, 0.0, 1e-12);
+  }
 }
 
 TEST(FastKMeansPlusPlusTest, KMedianModeUsesPlainDistances) {

@@ -133,6 +133,38 @@ TEST(FenwickTest, UpperBoundFindsCorrectSlot) {
   EXPECT_EQ(tree.UpperBound(3.5), 3u);
 }
 
+TEST(FenwickTest, UpperBoundDriftNeverLandsOnZeroMassSlot) {
+  // Regression: a target that drifts to (or past) Total() used to be
+  // clamped onto the *last slot* even when that slot held zero mass,
+  // returning an index the distribution gives probability zero — in
+  // Fast-kmeans++ that is a covered point accepted as a duplicate center.
+  FenwickTree tree(2);
+  tree.Set(0, 1.0);
+  tree.Set(1, 0.0);
+  EXPECT_EQ(tree.UpperBound(1.0), 0u);  // target == Total(), zero tail.
+  EXPECT_EQ(tree.UpperBound(1.5), 0u);  // past Total().
+
+  // Longer zero-mass tail (the common shape: covered suffix).
+  FenwickTree tail(5);
+  tail.Set(0, 0.5);
+  tail.Set(1, 2.5);
+  for (size_t i = 2; i < 5; ++i) tail.Set(i, 0.0);
+  EXPECT_EQ(tail.UpperBound(3.0), 1u);
+  EXPECT_EQ(tail.UpperBound(100.0), 1u);
+}
+
+TEST(FenwickTest, UpperBoundZeroPrefixFallsForward) {
+  // All mass behind the landing slot is zero: the only valid answer is
+  // ahead of it.
+  FenwickTree tree(4);
+  tree.Set(0, 0.0);
+  tree.Set(1, 0.0);
+  tree.Set(2, 0.0);
+  tree.Set(3, 4.0);
+  EXPECT_EQ(tree.UpperBound(0.0), 3u);
+  EXPECT_EQ(tree.UpperBound(3.9), 3u);
+}
+
 TEST(FenwickTest, SampleProportionalToWeights) {
   Rng rng(29);
   FenwickTree tree(3);

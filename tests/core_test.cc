@@ -120,6 +120,70 @@ TEST(ImportanceTest, DuplicateDrawsAreMerged) {
   EXPECT_NEAR(coreset.TotalWeight(), 3.0, 1e-9);
 }
 
+TEST(ImportanceTest, DriftedTargetNeverHitsZeroSigmaPoint) {
+  // Regression: the cumulative sweep could attribute a drifted target to
+  // a point with sigma == 0 (a zero-width interval), whose coreset weight
+  // then divides by zero. Model the drift with a `total` slightly above
+  // the true sigma sum and a zero-sigma trailing point.
+  Matrix points(3, 1);
+  points.At(0, 0) = 1.0;
+  points.At(1, 0) = 2.0;
+  points.At(2, 0) = 3.0;
+  ImportanceScores scores;
+  scores.sigma = {1.0, 1.0, 0.0};
+  scores.total = 2.5;  // > 1 + 1: every target above 2 overshoots.
+  Rng rng(7);
+  const Coreset coreset = SampleByImportance(points, {}, scores, 64, rng);
+  double weight_sum = 0.0;
+  for (size_t r = 0; r < coreset.size(); ++r) {
+    EXPECT_NE(coreset.indices[r], 2u);  // sigma == 0 is unsampleable.
+    EXPECT_TRUE(std::isfinite(coreset.weights[r]));
+    weight_sum += coreset.weights[r];
+  }
+  EXPECT_GT(weight_sum, 0.0);
+}
+
+TEST(ImportanceTest, LeadingZeroSigmaPointIsSkipped) {
+  Matrix points(3, 1);
+  ImportanceScores scores;
+  scores.sigma = {0.0, 2.0, 1.0};
+  scores.total = 3.0;
+  Rng rng(11);
+  const Coreset coreset = SampleByImportance(points, {}, scores, 64, rng);
+  for (size_t r = 0; r < coreset.size(); ++r) {
+    EXPECT_NE(coreset.indices[r], 0u);
+    EXPECT_TRUE(std::isfinite(coreset.weights[r]));
+  }
+}
+
+TEST(ImportanceTest, DegenerateAllPointsOnCenterCluster) {
+  // Every point sits exactly on the single center, so the cost term of
+  // eq. (1) vanishes and sigma reduces to w_i / W — zero for zero-weight
+  // points. Sampling must never pick those (infinite weight) and the
+  // pipeline must stay finite end to end.
+  const size_t n = 64;
+  Matrix points(n, 2);  // All at the origin.
+  Matrix center(1, 2);
+  const std::vector<size_t> assignment(n, 0);
+  std::vector<double> weights(n, 1.0);
+  weights[0] = 0.0;
+  weights[n - 1] = 0.0;
+  const ImportanceScores scores =
+      ComputeSensitivities(points, weights, assignment, center, 2);
+  EXPECT_EQ(scores.sigma[0], 0.0);
+  EXPECT_EQ(scores.sigma[n - 1], 0.0);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const Coreset coreset =
+        SampleByImportance(points, weights, scores, 16, rng);
+    for (size_t r = 0; r < coreset.size(); ++r) {
+      EXPECT_NE(coreset.indices[r], 0u);
+      EXPECT_NE(coreset.indices[r], n - 1);
+      EXPECT_TRUE(std::isfinite(coreset.weights[r]));
+    }
+  }
+}
+
 TEST(ImportanceTest, CenterCorrectionRestoresClusterWeights) {
   Rng rng(6);
   const Matrix points = Blobs(3, 50, 2, rng);

@@ -1,0 +1,165 @@
+// Determinism suite for the parallel substrate contract (parallel.h):
+// chunk geometry depends only on the input size, reductions merge in
+// chunk order, and all RNG consumption is serial — so every pipeline
+// result is bit-identical at ANY worker count, not merely reproducible
+// at a fixed one. These tests pin that guarantee end to end by running
+// the kernels and the full coreset pipelines at FC_THREADS ∈ {1, 4} and
+// asserting exact equality.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/clustering/cost.h"
+#include "src/clustering/kmeans_plus_plus.h"
+#include "src/clustering/lloyd.h"
+#include "src/common/parallel.h"
+#include "src/core/fast_coreset.h"
+#include "src/core/importance.h"
+#include "src/core/sensitivity_sampling.h"
+#include "src/data/generators.h"
+#include "src/geometry/distance.h"
+
+namespace fastcoreset {
+namespace {
+
+// Large enough that the chunk plan splits the range (engaging real
+// worker threads at FC_THREADS > 1) — see kSerialCutoff in parallel.cc.
+constexpr size_t kRows = 6000;
+
+Matrix TestPoints(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateGaussianMixture(kRows, d, /*kappa=*/12, /*gamma=*/0.5, rng);
+}
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(size_t count) { SetNumThreads(count); }
+  ~ThreadCountGuard() { ResetNumThreads(); }
+};
+
+TEST(DeterminismTest, AssignToNearestBitIdenticalAcrossThreadCounts) {
+  const Matrix points = TestPoints(8, 101);
+  Rng rng(102);
+  Matrix centers(20, 8);
+  for (size_t c = 0; c < 20; ++c) {
+    centers.CopyRowFrom(points, rng.NextIndex(points.rows()), c);
+  }
+  std::vector<size_t> idx1, idx4;
+  std::vector<double> sq1, sq4;
+  {
+    ThreadCountGuard guard(1);
+    AssignToNearest(points, centers, &idx1, &sq1);
+  }
+  {
+    ThreadCountGuard guard(4);
+    AssignToNearest(points, centers, &idx4, &sq4);
+  }
+  EXPECT_EQ(idx1, idx4);
+  EXPECT_EQ(sq1, sq4);  // Exact, not approximate.
+}
+
+TEST(DeterminismTest, CostReductionsBitIdenticalAcrossThreadCounts) {
+  const Matrix points = TestPoints(6, 103);
+  Rng rng(104);
+  Matrix centers(15, 6);
+  for (size_t c = 0; c < 15; ++c) {
+    centers.CopyRowFrom(points, rng.NextIndex(points.rows()), c);
+  }
+  std::vector<double> weights(points.rows());
+  for (double& w : weights) w = rng.NextDouble() + 0.1;
+
+  double cost1, cost4, median1, median4;
+  {
+    ThreadCountGuard guard(1);
+    cost1 = CostToCenters(points, weights, centers, 2);
+    median1 = CostToCenters(points, weights, centers, 1);
+  }
+  {
+    ThreadCountGuard guard(4);
+    cost4 = CostToCenters(points, weights, centers, 2);
+    median4 = CostToCenters(points, weights, centers, 1);
+  }
+  EXPECT_EQ(cost1, cost4);
+  EXPECT_EQ(median1, median4);
+}
+
+void ExpectCoresetsIdentical(const Coreset& a, const Coreset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.points.data(), b.points.data());
+}
+
+TEST(DeterminismTest, FastCoresetBitIdenticalAcrossThreadCounts) {
+  const Matrix points = TestPoints(10, 105);
+  FastCoresetOptions options;
+  options.k = 12;
+  options.m = 240;
+  Coreset coreset1, coreset4;
+  {
+    ThreadCountGuard guard(1);
+    Rng rng(106);
+    coreset1 = FastCoreset(points, {}, options, rng);
+  }
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(106);
+    coreset4 = FastCoreset(points, {}, options, rng);
+  }
+  ExpectCoresetsIdentical(coreset1, coreset4);
+}
+
+TEST(DeterminismTest, SensitivitySamplingBitIdenticalAcrossThreadCounts) {
+  const Matrix points = TestPoints(7, 107);
+  Coreset coreset1, coreset4;
+  {
+    ThreadCountGuard guard(1);
+    Rng rng(108);
+    coreset1 = SensitivitySamplingCoreset(points, {}, 10, 200, 2, rng);
+  }
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(108);
+    coreset4 = SensitivitySamplingCoreset(points, {}, 10, 200, 2, rng);
+  }
+  ExpectCoresetsIdentical(coreset1, coreset4);
+}
+
+TEST(DeterminismTest, LloydBitIdenticalAcrossThreadCounts) {
+  const Matrix points = TestPoints(5, 109);
+  Rng rng(110);
+  Matrix seeds(8, 5);
+  for (size_t c = 0; c < 8; ++c) {
+    seeds.CopyRowFrom(points, rng.NextIndex(points.rows()), c);
+  }
+  LloydOptions options;
+  options.max_iters = 6;
+  Clustering result1, result4;
+  {
+    ThreadCountGuard guard(1);
+    result1 = LloydKMeans(points, {}, seeds, options);
+  }
+  {
+    ThreadCountGuard guard(4);
+    result4 = LloydKMeans(points, {}, seeds, options);
+  }
+  EXPECT_EQ(result1.assignment, result4.assignment);
+  EXPECT_EQ(result1.total_cost, result4.total_cost);
+  EXPECT_EQ(result1.centers.data(), result4.centers.data());
+}
+
+TEST(DeterminismTest, RepeatedRunsIdenticalAtFixedThreadCount) {
+  const Matrix points = TestPoints(6, 111);
+  FastCoresetOptions options;
+  options.k = 8;
+  options.m = 160;
+  ThreadCountGuard guard(4);
+  Rng rng_a(112), rng_b(112);
+  const Coreset a = FastCoreset(points, {}, options, rng_a);
+  const Coreset b = FastCoreset(points, {}, options, rng_b);
+  ExpectCoresetsIdentical(a, b);
+}
+
+}  // namespace
+}  // namespace fastcoreset

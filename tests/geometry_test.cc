@@ -110,6 +110,97 @@ TEST(DistanceTest, AssignToNearestCoversAllPoints) {
   }
 }
 
+TEST(DistanceTest, RowSquaredNormsMatchDots) {
+  Rng rng(17);
+  const Matrix m = RandomPoints(37, 5, rng);
+  const std::vector<double> norms = m.RowSquaredNorms();
+  ASSERT_EQ(norms.size(), 37u);
+  const std::vector<double> origin(5, 0.0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_NEAR(norms[i], SquaredL2(m.Row(i), origin), 1e-9);
+  }
+}
+
+// Property test: the blocked norm-cached kernel must agree with the
+// scalar SquaredL2 reference on every point — same argmin (including the
+// lowest-index tie-breaking) and squared distances to tight relative
+// tolerance — across shapes that exercise partial blocks, partial center
+// tiles and multiple dimension strips.
+TEST(DistanceTest, BatchNearestCenterMatchesScalarReference) {
+  Rng rng(23);
+  const struct {
+    size_t n, d, k;
+  } shapes[] = {
+      {1, 1, 1},    {7, 3, 2},     {64, 16, 16},  {65, 16, 17},
+      {200, 5, 10}, {130, 70, 33}, {96, 129, 40},
+  };
+  for (const auto& shape : shapes) {
+    const Matrix points = RandomPoints(shape.n, shape.d, rng, 100.0);
+    const Matrix centers = RandomPoints(shape.k, shape.d, rng, 100.0);
+    const std::vector<double> center_norms = centers.RowSquaredNorms();
+    std::vector<size_t> index(shape.n);
+    std::vector<double> sq(shape.n);
+    BatchNearestCenter(points, 0, shape.n, centers, center_norms,
+                       std::span<size_t>(index), std::span<double>(sq));
+    for (size_t i = 0; i < shape.n; ++i) {
+      const NearestCenter reference =
+          FindNearestCenter(points.Row(i), centers);
+      EXPECT_EQ(index[i], reference.index)
+          << "n=" << shape.n << " d=" << shape.d << " k=" << shape.k
+          << " i=" << i;
+      const double tolerance = 1e-9 * (1.0 + reference.sq_dist);
+      EXPECT_NEAR(sq[i], reference.sq_dist, tolerance);
+    }
+  }
+}
+
+TEST(DistanceTest, BatchNearestCenterBreaksTiesTowardLowerIndex) {
+  // Duplicate centers produce exactly equal distances in both forms; the
+  // batch kernel must report the first copy, like FindNearestCenter.
+  Matrix centers(4, 2);
+  for (size_t c = 0; c < 4; ++c) {
+    centers.At(c, 0) = 3.0;
+    centers.At(c, 1) = -1.0;
+  }
+  Matrix points(2, 2);
+  points.At(0, 0) = 3.0;
+  points.At(0, 1) = -1.0;
+  points.At(1, 0) = 100.0;
+  const std::vector<double> norms = centers.RowSquaredNorms();
+  std::vector<size_t> index(2);
+  std::vector<double> sq(2);
+  BatchNearestCenter(points, 0, 2, centers, norms,
+                     std::span<size_t>(index), std::span<double>(sq));
+  EXPECT_EQ(index[0], 0u);
+  EXPECT_EQ(index[1], 0u);
+  EXPECT_NEAR(sq[0], 0.0, 1e-12);
+}
+
+TEST(DistanceTest, BatchNearestCenterSubRangeMatchesFullRange) {
+  // Results must not depend on how the row range is partitioned (the
+  // ParallelFor contract): computing [0, n) in one call or in arbitrary
+  // sub-ranges yields bit-identical outputs.
+  Rng rng(29);
+  const size_t n = 150, d = 9, k = 21;
+  const Matrix points = RandomPoints(n, d, rng);
+  const Matrix centers = RandomPoints(k, d, rng);
+  const std::vector<double> norms = centers.RowSquaredNorms();
+  std::vector<size_t> full_idx(n), part_idx(n);
+  std::vector<double> full_sq(n), part_sq(n);
+  BatchNearestCenter(points, 0, n, centers, norms,
+                     std::span<size_t>(full_idx), std::span<double>(full_sq));
+  const size_t cuts[] = {0, 13, 64, 77, 150};
+  for (size_t s = 0; s + 1 < std::size(cuts); ++s) {
+    const size_t begin = cuts[s], end = cuts[s + 1];
+    BatchNearestCenter(
+        points, begin, end, centers, norms,
+        std::span<size_t>(part_idx.data() + begin, end - begin),
+        std::span<double>(part_sq.data() + begin, end - begin));
+  }
+  EXPECT_EQ(full_idx, part_idx);
+  EXPECT_EQ(full_sq, part_sq);
+}
+
 TEST(BoundingBoxTest, BoxAndDiagonal) {
   Matrix m(2, 2);
   m.At(0, 0) = -1.0;

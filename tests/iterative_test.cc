@@ -52,7 +52,10 @@ TEST(TreeAssignTest, CostWithinTreeDistortionOfExact) {
   const Matrix centers = KMeansPlusPlus(points, {}, 6, 2, center_rng).centers;
   const Clustering approx = TreeAssign(points, {}, centers, 2, rng);
   const double exact = CostToCenters(points, {}, centers, 2);
-  EXPECT_GE(approx.total_cost, exact - 1e-9);  // Exact is a lower bound.
+  // Exact is a lower bound; relative slack because the batched cost kernel
+  // evaluates distances in the norm-cached form, which rounds differently
+  // in the last ulps than the per-point form TreeAssign reports.
+  EXPECT_GE(approx.total_cost, exact * (1.0 - 1e-9));
   // d = 3, modest spread: the tree assignment should stay within a
   // moderate polylog factor.
   EXPECT_LT(approx.total_cost, 500.0 * exact + 1e-9);
