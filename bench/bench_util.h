@@ -31,11 +31,13 @@ inline std::string DistortionCell(double mean, double variance) {
 
 /// Prints the standard experiment banner.
 inline void Banner(const char* experiment, const char* claim) {
-  std::printf("\n================================================================\n");
+  std::printf(
+      "\n================================================================\n");
   std::printf("%s\n", experiment);
   std::printf("Paper claim: %s\n", claim);
   std::printf("FC_SCALE=%.2f FC_RUNS=%d FC_K=%zu\n", Scale(), Runs(), K());
-  std::printf("================================================================\n\n");
+  std::printf(
+      "================================================================\n\n");
 }
 
 }  // namespace bench

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "src/clustering/cost.h"
-#include "src/common/fenwick_tree.h"
+#include "src/common/discrete_distribution.h"
 #include "src/geometry/distance.h"
 
 namespace fastcoreset {
@@ -41,15 +41,16 @@ Clustering Afkmc2(const Matrix& points, const std::vector<double>& weights,
     cost_first += WeightAt(weights, i) * dist_to_first[i];
     total_weight += WeightAt(weights, i);
   }
-  FenwickTree proposal(n);
   std::vector<double> proposal_density(n);
   for (size_t i = 0; i < n; ++i) {
     const double w = WeightAt(weights, i);
     double q = 0.5 * w / total_weight;
     if (cost_first > 0.0) q += 0.5 * w * dist_to_first[i] / cost_first;
     proposal_density[i] = q;
-    proposal.Set(i, q);
   }
+  // The chain's q-distribution is fixed after this point: O(n) bulk
+  // build, O(log n) per proposal draw.
+  const DiscreteDistribution proposal(proposal_density);
 
   // dist^z to the current center set, maintained incrementally — but only
   // for points the chain visits (lazy evaluation keeps this sublinear).

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "src/common/fenwick_tree.h"
+#include "src/common/discrete_distribution.h"
 #include "src/common/parallel.h"
 #include "src/geometry/distance.h"
 #include "src/geometry/quadtree.h"
@@ -102,7 +102,7 @@ class TreeSeeder {
   // would even collide with the -1 sentinel.
   std::vector<int32_t> cov_level_;
   std::vector<uint32_t> assigned_;
-  FenwickTree masses_;
+  DiscreteDistribution masses_;
   std::vector<size_t> center_points_;
   std::vector<int32_t> stack_;
 };

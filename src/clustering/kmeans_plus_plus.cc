@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <utility>
 
+#include "src/common/discrete_distribution.h"
 #include "src/common/parallel.h"
 #include "src/geometry/distance.h"
 
@@ -33,7 +35,6 @@ Clustering KMeansPlusPlus(const Matrix& points,
 
   // min_sq[i] = squared distance to the closest chosen center so far.
   std::vector<double> min_sq(n, 0.0);
-  std::vector<double> masses(n, 0.0);
   std::vector<uint8_t> chosen(n, 0);
 
   // First center: proportional to the weights alone.
@@ -54,22 +55,44 @@ Clustering KMeansPlusPlus(const Matrix& points,
     });
   }
 
-  for (size_t c = 1; c < k; ++c) {
-    // Mass rebuild: fill masses and reduce their total in one pass (the
-    // side-effect writes are disjoint per index, so ParallelReduce's
-    // chunk-ordered merge keeps the total thread-invariant).
-    const double total = ParallelReduce(n, [&](size_t begin, size_t end) {
-      double partial = 0.0;
+  // Sampling mass w_i * D^z(i), built once in O(n) and then maintained
+  // incrementally: a new center only touches the slots whose min-distance
+  // it improves, so each of the k-1 rounds pays O(changed * log n) Fenwick
+  // updates plus an O(log n) total/draw — not the former O(n) mass rebuild
+  // plus SampleDiscrete's O(n) re-sum.
+  DiscreteDistribution masses;
+  {
+    std::vector<double> initial(n);
+    ParallelFor(n, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         const double d = z == 2 ? min_sq[i] : std::sqrt(min_sq[i]);
-        masses[i] = WeightAt(weights, i) * d;
-        partial += masses[i];
+        initial[i] = WeightAt(weights, i) * d;
       }
-      return partial;
     });
+    masses.Assign(initial);
+  }
 
-    size_t next;
-    if (total <= 0.0) {
+  // The parallel distance pass records improved slots per chunk; the
+  // Fenwick updates are then applied on this thread in chunk order, so
+  // the tree state (and every draw) is bit-identical at any thread count.
+  std::vector<std::vector<std::pair<size_t, double>>> improved(
+      ParallelChunkCount(n));
+
+  for (size_t c = 1; c < k; ++c) {
+    const double total = masses.Total();
+
+    // The tree total accumulates signed update deltas, so exact-zero mass
+    // can surface as a tiny positive residue. A draw from such a
+    // distribution can only land on a zero-mass (already-chosen) slot —
+    // the same degenerate state as total <= 0, so detect it by the
+    // sampled slot's stored (exact) mass and fall through to the
+    // unchosen-only draw.
+    size_t next = n;
+    if (total > 0.0) {
+      const size_t drawn = masses.Sample(rng);
+      if (masses.Get(drawn) > 0.0) next = drawn;
+    }
+    if (next == n) {
       // All mass sits on already-chosen centers (duplicated points). Draw
       // weight-proportionally among the *unchosen* indices only — a plain
       // redraw could return an index that is already a center, silently
@@ -89,26 +112,31 @@ Clustering KMeansPlusPlus(const Matrix& points,
         for (size_t u = 0; u < unchosen.size(); ++u) {
           sub[u] = weights[unchosen[u]];
         }
-        next = unchosen[rng.SampleDiscrete(sub)];
+        next = unchosen[rng.SampleDiscrete(sub, unchosen_weight)];
       } else {
         // Unit weights, or every unchosen point has zero weight: uniform.
         next = unchosen[rng.NextIndex(unchosen.size())];
       }
-    } else {
-      next = rng.SampleDiscrete(masses);
     }
     chosen[next] = 1;
     result.centers.CopyRowFrom(points, next, c);
     const auto center = result.centers.Row(c);
-    ParallelFor(n, [&](size_t begin, size_t end) {
+    ParallelForChunks(n, [&](size_t chunk, size_t begin, size_t end) {
+      auto& batch = improved[chunk];
+      batch.clear();
       for (size_t i = begin; i < end; ++i) {
         const double sq = SquaredL2(points.Row(i), center);
         if (sq < min_sq[i]) {
           min_sq[i] = sq;
           result.assignment[i] = c;
+          const double d = z == 2 ? sq : std::sqrt(sq);
+          batch.emplace_back(i, WeightAt(weights, i) * d);
         }
       }
     });
+    for (const auto& batch : improved) {
+      for (const auto& [i, mass] : batch) masses.Set(i, mass);
+    }
   }
 
   result.point_costs.resize(n);

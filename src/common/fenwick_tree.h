@@ -21,6 +21,23 @@ class FenwickTree {
   /// Creates a tree over `n` slots, all initialized to zero.
   explicit FenwickTree(size_t n) : values_(n, 0.0), tree_(n + 1, 0.0) {}
 
+  /// Creates a tree holding `values` (>= 0) via the O(n) bulk build —
+  /// n single-slot Sets would cost O(n log n).
+  explicit FenwickTree(const std::vector<double>& values) { Assign(values); }
+
+  /// Replaces the whole tree with `values` (>= 0) in O(n), reusing the
+  /// existing storage when the size matches.
+  void Assign(const std::vector<double>& values) {
+    values_ = values;
+    tree_.assign(values_.size() + 1, 0.0);
+    for (size_t j = 1; j < tree_.size(); ++j) {
+      FC_DCHECK(values_[j - 1] >= 0.0);
+      tree_[j] += values_[j - 1];
+      const size_t parent = j + (j & (~j + 1));
+      if (parent < tree_.size()) tree_[parent] += tree_[j];
+    }
+  }
+
   size_t size() const { return values_.size(); }
 
   /// Current value of slot `i`.

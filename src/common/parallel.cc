@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 
 #include "src/common/env.h"
 
@@ -13,10 +16,9 @@ namespace {
 // (default 1, serial) until SetNumThreads is called.
 std::atomic<size_t> g_num_threads{0};
 
-// Upper bound on the env-supplied worker count: ParallelForChunks spawns
-// up to this many OS threads per call, so an accidental FC_THREADS=100000
-// must not turn into 100000 std::thread constructions (std::system_error
-// -> std::terminate).
+// Upper bound on the worker count: the pool keeps up to this many parked
+// OS threads, so an accidental FC_THREADS=100000 must not turn into
+// 100000 std::thread constructions (std::system_error -> std::terminate).
 constexpr size_t kMaxEnvThreads = 256;
 
 size_t EnvDefaultThreads() {
@@ -59,6 +61,220 @@ ChunkPlan PlanChunks(size_t n) {
   return {chunks, (n + chunks - 1) / chunks};
 }
 
+// True on any thread currently inside a substrate dispatch (pool workers
+// permanently, dispatchers for the duration of a call). A nested call
+// sees the flag and runs inline instead of re-entering the pool, which
+// would deadlock: the worker would park waiting for capacity that only
+// it can provide.
+thread_local bool tls_in_parallel_region = false;
+
+void RunSerial(size_t n, const ChunkPlan& plan,
+               const std::function<void(size_t, size_t, size_t)>& body) {
+  for (size_t c = 0; c < plan.chunks; ++c) {
+    const size_t begin = c * plan.chunk_size;
+    const size_t end = std::min(n, begin + plan.chunk_size);
+    if (begin >= end) break;
+    body(c, begin, end);
+  }
+}
+
+// Persistent pool. Workers are spawned lazily on the first dispatch that
+// wants them, park on a condition variable between dispatches, and are
+// joined either explicitly (ShutdownThreadPool) or by the singleton's
+// destructor at process exit. A dispatch publishes one Task; the caller
+// participates as executor 0, so a pool of W threads serves
+// GetNumThreads() == W + 1.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  // Executes `body` over the fixed chunk plan with up to `executors`
+  // concurrent executors (the calling thread plus pool workers). Blocks
+  // until every chunk has run.
+  void Run(size_t n, const ChunkPlan& plan, size_t executors,
+           const std::function<void(size_t, size_t, size_t)>& body) {
+    // One dispatch owns the pool at a time: a concurrent dispatcher must
+    // not overwrite task_ (its chunks would silently run undistributed).
+    // A second application thread dispatching mid-flight just runs its
+    // own chunks inline — correct, serial, and contention-free.
+    std::unique_lock<std::mutex> dispatch_lock(dispatch_mutex_,
+                                               std::try_to_lock);
+    if (!dispatch_lock.owns_lock()) {
+      RunSerial(n, plan, body);
+      return;
+    }
+    Task task;
+    task.body = &body;
+    task.n = n;
+    task.chunk_size = plan.chunk_size;
+    task.remaining.store(plan.chunks, std::memory_order_relaxed);
+    // The dispatcher is executor 0 and counts itself as active up front;
+    // workers add themselves under the mutex when they engage.
+    task.active.store(1, std::memory_order_relaxed);
+    // Stripe the chunks across one queue per executor. Queue geometry,
+    // like chunk geometry, never reaches the results: a queue only
+    // decides which executor runs a chunk first.
+    task.num_queues = executors;
+    task.queues = std::make_unique<ChunkQueue[]>(executors);
+    for (size_t q = 0; q < executors; ++q) {
+      task.queues[q].next.store(q * plan.chunks / executors,
+                                std::memory_order_relaxed);
+      task.queues[q].end = (q + 1) * plan.chunks / executors;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      EnsureWorkersLocked(executors - 1);
+      task_ = &task;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    Execute(task, /*home_queue=*/0);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&task] {
+      return task.remaining.load(std::memory_order_acquire) == 0 &&
+             task.active.load(std::memory_order_acquire) == 0;
+    });
+    task_ = nullptr;
+  }
+
+  void Shutdown() {
+    std::vector<std::thread> workers;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+      workers.swap(workers_);
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers) worker.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;  // Allow lazy re-initialization.
+  }
+
+  size_t WorkerCount() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return workers_.size();
+  }
+
+ private:
+  // Per-executor chunk queue: a half-open range of chunk indices. The
+  // owner and thieves all claim via fetch_add on `next`; claims at or
+  // past `end` are overshoot and simply ignored (the counter can exceed
+  // `end` by at most one per executor, never near overflow).
+  struct alignas(64) ChunkQueue {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+
+  struct Task {
+    const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+    size_t n = 0;
+    size_t chunk_size = 0;
+    std::unique_ptr<ChunkQueue[]> queues;
+    size_t num_queues = 0;
+    std::atomic<size_t> remaining{0};  // Chunks not yet finished.
+    std::atomic<size_t> active{0};     // Executors currently inside Execute.
+  };
+
+  void EnsureWorkersLocked(size_t target) {
+    target = std::min(target, kMaxEnvThreads - 1);
+    while (workers_.size() < target) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    // Pool threads are executors by definition: any substrate call made
+    // from a chunk body must run inline (see tls_in_parallel_region).
+    tls_in_parallel_region = true;
+    uint64_t seen_epoch = 0;
+    size_t home_queue = 0;
+    for (;;) {
+      Task* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stopping_ || (epoch_ != seen_epoch && task_ != nullptr);
+        });
+        if (stopping_) return;
+        seen_epoch = epoch_;
+        task = task_;
+        // Engage only while the task is short of its requested executor
+        // count (one queue per executor, dispatcher included): a pool
+        // grown for an earlier SetNumThreads(8) dispatch must not throw
+        // all 7 workers at a later 2-executor task. Skipping still
+        // consumes the epoch, so decliners park until the next dispatch.
+        if (task->active.load(std::memory_order_relaxed) >=
+            task->num_queues) {
+          continue;
+        }
+        // The active count must rise under the mutex: Run() clears task_
+        // only while holding it, so a worker either engages before the
+        // dispatcher can retire the task or never sees it at all.
+        task->active.fetch_add(1, std::memory_order_relaxed);
+        home_queue = (next_home_queue_++ % (task->num_queues - 1)) + 1;
+      }
+      Execute(*task, home_queue);
+    }
+  }
+
+  // Drains the executor's own queue, then steals from the others in
+  // cyclic order. Signals the dispatcher when the last chunk retires and
+  // the last executor leaves.
+  void Execute(Task& task, size_t home_queue) {
+    const size_t queues = task.num_queues;
+    for (size_t offset = 0; offset < queues; ++offset) {
+      ChunkQueue& queue = task.queues[(home_queue + offset) % queues];
+      for (;;) {
+        const size_t chunk =
+            queue.next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= queue.end) break;
+        const size_t begin = chunk * task.chunk_size;
+        const size_t end = std::min(task.n, begin + task.chunk_size);
+        if (begin < end) (*task.body)(chunk, begin, end);
+        task.remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
+    // The dispatcher waits for remaining == 0 && active == 0, and the
+    // Task dies with Run()'s stack frame as soon as that holds — so the
+    // active decrement must be this executor's LAST access to the task
+    // (reading it afterwards races with Task destruction under a spurious
+    // done_cv_ wakeup). Read remaining first; release ordering on the
+    // decrement keeps the load from sinking below it.
+    const bool chunks_done =
+        task.remaining.load(std::memory_order_acquire) == 0;
+    const size_t prev_active =
+        task.active.fetch_sub(1, std::memory_order_acq_rel);
+    // Wake the dispatcher when this exit may be the completing one:
+    // either every chunk had already retired, or this was the last
+    // active executor — in which case all chunks are necessarily done (a
+    // chunk in flight keeps its executor active), even if the remaining
+    // load above raced with another executor retiring the final chunk.
+    // Without the prev_active clause that race loses the only wakeup.
+    if (chunks_done || prev_active == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+
+  std::mutex dispatch_mutex_;  // Held by the owning dispatcher for a Run.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // Workers park here between tasks.
+  std::condition_variable done_cv_;  // Dispatcher waits for completion.
+  std::vector<std::thread> workers_;
+  Task* task_ = nullptr;
+  uint64_t epoch_ = 0;
+  uint64_t next_home_queue_ = 0;
+  bool stopping_ = false;
+};
+
 }  // namespace
 
 void SetNumThreads(size_t count) {
@@ -66,7 +282,7 @@ void SetNumThreads(size_t count) {
     const unsigned hardware = std::thread::hardware_concurrency();
     count = hardware == 0 ? 1 : hardware;
   }
-  g_num_threads.store(count);
+  g_num_threads.store(std::min(count, kMaxEnvThreads));
 }
 
 void ResetNumThreads() { g_num_threads.store(0); }
@@ -76,40 +292,26 @@ size_t GetNumThreads() {
   return set == 0 ? EnvDefaultThreads() : set;
 }
 
-size_t ParallelChunkCount(size_t n) { return n == 0 ? 0 : PlanChunks(n).chunks; }
+void ShutdownThreadPool() { ThreadPool::Instance().Shutdown(); }
+
+size_t ThreadPoolWorkerCount() { return ThreadPool::Instance().WorkerCount(); }
+
+size_t ParallelChunkCount(size_t n) {
+  return n == 0 ? 0 : PlanChunks(n).chunks;
+}
 
 void ParallelForChunks(
     size_t n, const std::function<void(size_t, size_t, size_t)>& body) {
   if (n == 0) return;
   const ChunkPlan plan = PlanChunks(n);
-  const size_t workers = std::min(GetNumThreads(), plan.chunks);
-  if (workers <= 1) {
-    for (size_t c = 0; c < plan.chunks; ++c) {
-      const size_t begin = c * plan.chunk_size;
-      const size_t end = std::min(n, begin + plan.chunk_size);
-      if (begin >= end) break;
-      body(c, begin, end);
-    }
+  const size_t executors = std::min(GetNumThreads(), plan.chunks);
+  if (executors <= 1 || tls_in_parallel_region) {
+    RunSerial(n, plan, body);
     return;
   }
-  // Work-stealing over a shared chunk counter: chunk boundaries are fixed,
-  // so the (nondeterministic) executor-to-chunk mapping is invisible in
-  // the results.
-  std::atomic<size_t> next_chunk{0};
-  auto run = [&] {
-    for (size_t c = next_chunk.fetch_add(1); c < plan.chunks;
-         c = next_chunk.fetch_add(1)) {
-      const size_t begin = c * plan.chunk_size;
-      const size_t end = std::min(n, begin + plan.chunk_size);
-      if (begin >= end) continue;
-      body(c, begin, end);
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (size_t t = 1; t < workers; ++t) threads.emplace_back(run);
-  run();
-  for (auto& thread : threads) thread.join();
+  tls_in_parallel_region = true;
+  ThreadPool::Instance().Run(n, plan, executors, body);
+  tls_in_parallel_region = false;
 }
 
 void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {

@@ -7,6 +7,21 @@
 // bodies are pure (no shared RNG, disjoint writes) every result is
 // bit-identical for ANY thread count, not just for a fixed one.
 //
+// Execution runs on a lazily-initialized persistent thread pool: the
+// first multi-threaded dispatch spawns the workers once, and subsequent
+// ParallelFor/ParallelReduce calls only pay a condition-variable wake
+// instead of an OS thread spawn/join round. Chunks are striped across
+// per-executor queues; an executor drains its own queue first and then
+// steals from the others, so an uneven chunk costs only load balance,
+// never the chunk plan. Workers park on a condition variable between
+// dispatches and are joined cleanly at process exit (or explicitly via
+// ShutdownThreadPool).
+//
+// Nested parallelism is safe but serial: a body that itself calls into
+// the substrate runs that inner loop inline on the calling thread — the
+// reentrancy guard keeps a pool worker from ever blocking on a dispatch
+// that needs the pool it occupies.
+//
 // Parallelism is opt-in: the global thread count defaults to 1 (serial),
 // keeping single-threaded reproducibility unless the caller calls
 // SetNumThreads or the FC_THREADS environment variable raises it
@@ -34,6 +49,18 @@ void ResetNumThreads();
 
 /// Current global worker count (>= 1).
 size_t GetNumThreads();
+
+/// Joins and discards the persistent pool's worker threads. The next
+/// multi-threaded dispatch re-initializes the pool lazily, so this is
+/// safe to call at any quiescent point (tests use it to exercise
+/// repeated init/teardown; normal programs never need it — the pool
+/// shuts itself down at process exit).
+void ShutdownThreadPool();
+
+/// Number of live pool worker threads (excluding the calling thread).
+/// 0 before the first multi-threaded dispatch and after
+/// ShutdownThreadPool.
+size_t ThreadPoolWorkerCount();
 
 /// Number of chunks [0, n) is partitioned into. A function of n alone:
 /// callers sizing per-chunk scratch get the same layout at every thread

@@ -28,6 +28,11 @@ size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
     FC_CHECK_GE(w, 0.0);
     total += w;
   }
+  return SampleDiscrete(weights, total);
+}
+
+size_t Rng::SampleDiscrete(const std::vector<double>& weights, double total) {
+  FC_CHECK(!weights.empty());
   FC_CHECK_MSG(total > 0.0, "all sampling weights are zero");
   double target = NextDouble() * total;
   for (size_t i = 0; i < weights.size(); ++i) {

@@ -83,8 +83,16 @@ class Rng {
   double NextSign() { return (NextU64() & 1) ? 1.0 : -1.0; }
 
   /// Samples an index proportional to `weights` (unnormalized, >= 0).
-  /// O(n); use Fenwick-based sampling for repeated draws.
+  /// O(n) including a summing pass; use DiscreteDistribution for
+  /// repeated draws from an evolving mass.
   size_t SampleDiscrete(const std::vector<double>& weights);
+
+  /// Same draw, but `total` is the caller's precomputed sum of `weights`
+  /// (> 0) — skips the O(n) re-sum, leaving one O(n) sweep. Callers that
+  /// already reduced the mass (e.g. a ParallelReduce total) must pass
+  /// that exact value: the sweep tolerates the usual floating-point
+  /// slack by falling back to the last positive-weight index.
+  size_t SampleDiscrete(const std::vector<double>& weights, double total);
 
   /// Samples `count` indices from [0, n) without replacement (Fisher-Yates
   /// on an index array; O(n) memory). Requires count <= n.

@@ -1,9 +1,9 @@
 #include "src/core/importance.h"
 
-#include <algorithm>
 #include <cmath>
 #include <map>
 
+#include "src/common/discrete_distribution.h"
 #include "src/common/parallel.h"
 #include "src/geometry/distance.h"
 
@@ -76,34 +76,17 @@ Coreset SampleByImportance(const Matrix& points,
   FC_CHECK_GT(m, 0u);
   FC_CHECK_MSG(scores.total > 0.0, "importance scores sum to zero");
 
-  // Draw m sorted uniforms and sweep the cumulative distribution once:
-  // O(n + m log m), independent of the number of distinct hits.
-  std::vector<double> targets(m);
-  for (double& t : targets) t = rng.NextDouble() * scores.total;
-  std::sort(targets.begin(), targets.end());
+  // O(n) bulk build of the sigma distribution, then m draws at O(log n)
+  // each. A sigma == 0 point owns a zero-width interval of the cumulative
+  // distribution and its coreset weight would divide by sigma, so the
+  // distribution's zero-slot stepping (FenwickTree::UpperBound) attributes
+  // any boundary-drifted target to the nearest positive-sigma point.
+  const DiscreteDistribution distribution(scores.sigma);
 
   // hits[i] = number of draws landing on point i (only nonzero entries).
   std::map<size_t, size_t> hits;
-  double cumulative = 0.0;
-  size_t point = 0;
-  for (double target : targets) {
-    // A sigma == 0 point owns a zero-width interval of the cumulative
-    // distribution, so exact arithmetic can never select it — but a target
-    // drifting onto an interval boundary (or past the final prefix sum)
-    // can. Its coreset weight would divide by sigma, so zero-sigma slots
-    // are skipped while sweeping forward and, if the sweep still ends on
-    // one (trailing zero-weight points), the hit is attributed to the
-    // nearest preceding positive-sigma point.
-    while (point + 1 < n && (scores.sigma[point] == 0.0 ||
-                             cumulative + scores.sigma[point] < target)) {
-      cumulative += scores.sigma[point];
-      ++point;
-    }
-    size_t landed = point;
-    while (landed > 0 && scores.sigma[landed] == 0.0) --landed;
-    FC_CHECK_MSG(scores.sigma[landed] > 0.0,
-                 "importance sweep found no positive-sigma point");
-    ++hits[landed];
+  for (size_t draw = 0; draw < m; ++draw) {
+    ++hits[distribution.Sample(rng)];
   }
 
   Coreset coreset;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "src/clustering/cost.h"
+#include "src/clustering/kmeans_parallel.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/lloyd.h"
 #include "src/common/parallel.h"
@@ -110,6 +111,36 @@ TEST(DeterminismTest, FastCoresetBitIdenticalAcrossThreadCounts) {
   ExpectCoresetsIdentical(coreset1, coreset4);
 }
 
+TEST(DeterminismTest, KMeansPlusPlusBitIdenticalAcrossThreadCounts) {
+  // k-means++ now samples from an incrementally-updated Fenwick
+  // distribution whose update batches are collected per chunk and applied
+  // in chunk order — the sequence of center draws must not depend on the
+  // executor count, only on the chunk plan.
+  const Matrix points = TestPoints(9, 113);
+  std::vector<double> weights(points.rows());
+  {
+    Rng wrng(114);
+    for (double& w : weights) w = wrng.NextDouble() + 0.05;
+  }
+  for (int z : {1, 2}) {
+    Clustering result1, result4;
+    {
+      ThreadCountGuard guard(1);
+      Rng rng(115);
+      result1 = KMeansPlusPlus(points, weights, 16, z, rng);
+    }
+    {
+      ThreadCountGuard guard(4);
+      Rng rng(115);
+      result4 = KMeansPlusPlus(points, weights, 16, z, rng);
+    }
+    EXPECT_EQ(result1.assignment, result4.assignment) << "z=" << z;
+    EXPECT_EQ(result1.point_costs, result4.point_costs) << "z=" << z;
+    EXPECT_EQ(result1.total_cost, result4.total_cost) << "z=" << z;
+    EXPECT_EQ(result1.centers.data(), result4.centers.data()) << "z=" << z;
+  }
+}
+
 TEST(DeterminismTest, SensitivitySamplingBitIdenticalAcrossThreadCounts) {
   const Matrix points = TestPoints(7, 107);
   Coreset coreset1, coreset4;
@@ -124,6 +155,26 @@ TEST(DeterminismTest, SensitivitySamplingBitIdenticalAcrossThreadCounts) {
     coreset4 = SensitivitySamplingCoreset(points, {}, 10, 200, 2, rng);
   }
   ExpectCoresetsIdentical(coreset1, coreset4);
+}
+
+TEST(DeterminismTest, KMeansParallelBitIdenticalAcrossThreadCounts) {
+  const Matrix points = TestPoints(8, 117);
+  KMeansParallelOptions options;
+  options.rounds = 4;
+  Clustering result1, result4;
+  {
+    ThreadCountGuard guard(1);
+    Rng rng(118);
+    result1 = KMeansParallel(points, {}, 10, options, rng);
+  }
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(118);
+    result4 = KMeansParallel(points, {}, 10, options, rng);
+  }
+  EXPECT_EQ(result1.assignment, result4.assignment);
+  EXPECT_EQ(result1.total_cost, result4.total_cost);
+  EXPECT_EQ(result1.centers.data(), result4.centers.data());
 }
 
 TEST(DeterminismTest, LloydBitIdenticalAcrossThreadCounts) {

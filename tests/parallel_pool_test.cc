@@ -1,0 +1,166 @@
+// Tests for the persistent thread pool behind ParallelFor/ParallelReduce
+// (parallel.cc): lazy initialization, reentrancy (nested dispatches run
+// inline instead of deadlocking), worker counts exceeding the chunk
+// count, repeated init/teardown via ShutdownThreadPool, and exact
+// coverage of the chunk partition under stealing.
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/parallel.h"
+
+namespace fastcoreset {
+namespace {
+
+// Large enough that the chunk plan splits the range and the pool engages
+// (see kSerialCutoff in parallel.cc).
+constexpr size_t kRows = 100000;
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(size_t count) { SetNumThreads(count); }
+  ~ThreadCountGuard() { ResetNumThreads(); }
+};
+
+double SerialReferenceSum(size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += static_cast<double>(i % 97);
+  return total;
+}
+
+TEST(ThreadPoolTest, PoolSpinsUpLazilyAndExecutesEveryIndexOnce) {
+  ThreadCountGuard guard(4);
+  ShutdownThreadPool();
+  EXPECT_EQ(ThreadPoolWorkerCount(), 0u);
+
+  std::vector<std::atomic<uint32_t>> visits(kRows);
+  for (auto& v : visits) v.store(0);
+  ParallelFor(kRows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // 4 requested executors = the caller + 3 pool workers.
+  EXPECT_EQ(ThreadPoolWorkerCount(), 3u);
+  for (size_t i = 0; i < kRows; ++i) {
+    ASSERT_EQ(visits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadCountGuard guard(4);
+  std::atomic<size_t> inner_total{0};
+  ParallelFor(kRows, [&](size_t begin, size_t end) {
+    // A nested dispatch from inside a chunk body must run serially on
+    // this thread — if it tried to re-enter the pool it would park on
+    // workers that are already busy here.
+    size_t local = 0;
+    ParallelFor(end - begin, [&](size_t inner_begin, size_t inner_end) {
+      local += inner_end - inner_begin;
+    });
+    inner_total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(inner_total.load(), kRows);
+}
+
+TEST(ThreadPoolTest, ReduceNestedInsideForIsCorrect) {
+  ThreadCountGuard guard(4);
+  std::atomic<int> mismatches{0};
+  ParallelFor(kRows, [&](size_t begin, size_t end) {
+    const double nested = ParallelReduce(
+        end - begin, [&](size_t inner_begin, size_t inner_end) {
+          return static_cast<double>(inner_end - inner_begin);
+        });
+    if (nested != static_cast<double>(end - begin)) ++mismatches;
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadPoolTest, ThreadCountAboveChunkCountIsSafe) {
+  // kRows/4096-ish chunks but far more requested workers: executor count
+  // is clamped to the chunk count, extra pool capacity just idles.
+  ThreadCountGuard guard(64);
+  const double expected = SerialReferenceSum(kRows);
+  const double total = ParallelReduce(kRows, [](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      partial += static_cast<double>(i % 97);
+    }
+    return partial;
+  });
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPoolTest, RepeatedInitTeardownCycles) {
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ThreadCountGuard guard(3);
+    const double total =
+        ParallelReduce(kRows, [](size_t begin, size_t end) {
+          double partial = 0.0;
+          for (size_t i = begin; i < end; ++i) {
+            partial += static_cast<double>(i % 97);
+          }
+          return partial;
+        });
+    EXPECT_EQ(total, SerialReferenceSum(kRows));
+    EXPECT_GT(ThreadPoolWorkerCount(), 0u);
+    ShutdownThreadPool();
+    EXPECT_EQ(ThreadPoolWorkerCount(), 0u);
+  }
+}
+
+TEST(ThreadPoolTest, GrowAndShrinkThreadCountAcrossDispatches) {
+  ShutdownThreadPool();
+  const double expected = SerialReferenceSum(kRows);
+  auto body = [](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      partial += static_cast<double>(i % 97);
+    }
+    return partial;
+  };
+  for (size_t threads : {2, 8, 3, 1, 6}) {
+    ThreadCountGuard guard(threads);
+    EXPECT_EQ(ParallelReduce(kRows, body), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, SerialPathBypassesPoolEntirely) {
+  ShutdownThreadPool();
+  ThreadCountGuard guard(1);
+  double total = 0.0;  // Unsynchronized on purpose: serial execution.
+  ParallelFor(kRows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) total += 1.0;
+  });
+  EXPECT_EQ(total, static_cast<double>(kRows));
+  EXPECT_EQ(ThreadPoolWorkerCount(), 0u);
+}
+
+TEST(ThreadPoolTest, ChunkIndicesMatchPlanAtAnyThreadCount) {
+  const size_t chunks = ParallelChunkCount(kRows);
+  for (size_t threads : {1, 4, 16}) {
+    ThreadCountGuard guard(threads);
+    std::vector<std::atomic<uint32_t>> seen(chunks);
+    for (auto& s : seen) s.store(0);
+    std::atomic<bool> bounds_ok{true};
+    ParallelForChunks(kRows, [&](size_t chunk, size_t begin, size_t end) {
+      if (chunk >= chunks || begin >= end || end > kRows) {
+        bounds_ok.store(false);
+      } else {
+        seen[chunk].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    EXPECT_TRUE(bounds_ok.load());
+    for (size_t c = 0; c < chunks; ++c) {
+      ASSERT_EQ(seen[c].load(), 1u) << "chunk " << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastcoreset

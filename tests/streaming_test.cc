@@ -87,7 +87,8 @@ TEST(MergeReduceTest, StreamingCoresetHasLowDistortion) {
       /*block_size=*/600, /*m=*/500, rng);
   DistortionOptions options;
   options.k = 12;
-  const double distortion = CoresetDistortion(points, {}, coreset, options, rng);
+  const double distortion =
+      CoresetDistortion(points, {}, coreset, options, rng);
   EXPECT_LT(distortion, 1.5);
 }
 

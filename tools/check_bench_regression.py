@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench JSON artifacts.
+
+Compares the "gate" object of a freshly produced bench JSON (e.g.
+BENCH_parallel.json) against a committed baseline. Gate metrics are
+machine-relative speedup ratios (higher is better), so a uniformly slower
+CI runner does not fail the build — only a regressed ratio does. A metric
+fails when
+
+    current < baseline * (1 - tolerance)
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [--tolerance 0.25]
+
+Exit status: 0 when every gate metric is within tolerance, 1 otherwise
+(also on malformed input). New metrics present only in the current run
+are reported but never fail; metrics present only in the baseline fail,
+so a bench refactor cannot silently drop a gated number.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_gate(path):
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        sys.exit(1)
+    gate = data.get("gate")
+    if not isinstance(gate, dict) or not gate:
+        print(f"error: {path} has no non-empty 'gate' object", file=sys.stderr)
+        sys.exit(1)
+    return gate
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_gate(args.baseline)
+    current = load_gate(args.current)
+
+    failures = []
+    width = max(len(name) for name in baseline | current)
+    print(f"perf gate: tolerance {args.tolerance:.0%}"
+          f" (fail below baseline * {1 - args.tolerance:.2f})")
+    for name, base_value in sorted(baseline.items()):
+        if name not in current:
+            failures.append(name)
+            print(f"  FAIL {name:<{width}} missing from current run"
+                  f" (baseline {base_value:.3f})")
+            continue
+        value = current[name]
+        floor = base_value * (1.0 - args.tolerance)
+        ok = value >= floor
+        status = "ok  " if ok else "FAIL"
+        print(f"  {status} {name:<{width}} current {value:8.3f}"
+              f"  baseline {base_value:8.3f}  floor {floor:8.3f}")
+        if not ok:
+            failures.append(name)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  new  {name:<{width}} current {current[name]:8.3f}"
+              f"  (no baseline; not gated)")
+
+    if failures:
+        print(f"perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
