@@ -11,31 +11,25 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/fast_coreset.h"
-#include "src/core/group_sampling.h"
-#include "src/core/samplers.h"
-#include "src/core/sensitivity_sampling.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
-#include "src/streaming/merge_reduce.h"
-#include "src/streaming/reservoir.h"
 
 namespace {
 
 using namespace fastcoreset;
 
 void Row(TablePrinter* table, const std::string& label, const Matrix& points,
-         const FastCoresetOptions& options, size_t k, int runs,
-         uint64_t seed) {
+         const api::CoresetSpec& spec, size_t k, int runs, uint64_t seed) {
   double seconds = 0.0;
   const TrialStats stats = RunTrials(runs, seed, [&](Rng& rng) {
     Timer timer;
-    const Coreset coreset = FastCoreset(points, {}, options, rng);
+    const Coreset coreset = api::Build(spec, points, {}, rng)->coreset;
     seconds += timer.Seconds();
     DistortionOptions probe;
     probe.k = k;
-    probe.z = options.z;
+    probe.z = spec.z;
     return CoresetDistortion(points, {}, coreset, probe, rng);
   });
   table->AddRow({label,
@@ -44,6 +38,16 @@ void Row(TablePrinter* table, const std::string& label, const Matrix& points,
                  TablePrinter::Num(seconds / runs)});
   std::printf("done: %s\n", label.c_str());
   std::fflush(stdout);
+}
+
+/// A fast_coreset spec with the given sub-options.
+api::CoresetSpec FastSpec(size_t k, size_t m, const api::FastOptions& options) {
+  api::CoresetSpec spec;
+  spec.method = "fast_coreset";
+  spec.k = k;
+  spec.m = m;
+  spec.options = options;
+  return spec;
 }
 
 }  // namespace
@@ -63,32 +67,34 @@ int main() {
   TablePrinter table;
   table.SetHeader({"variant", "distortion", "seconds"});
 
-  FastCoresetOptions base;
-  base.k = k;
-  base.m = 40 * k;
-  Row(&table, "baseline (JL + rejection)", gaussian, base, k, runs, 31000);
+  const api::FastOptions base;
+  Row(&table, "baseline (JL + rejection)", gaussian, FastSpec(k, 40 * k, base),
+      k, runs, 31000);
 
-  FastCoresetOptions no_rejection = base;
-  no_rejection.seeding.rejection_sampling = false;
-  Row(&table, "no rejection sampling", gaussian, no_rejection, k, runs,
-      31001);
+  api::FastOptions no_rejection = base;
+  no_rejection.seeding_rejection_sampling = false;
+  Row(&table, "no rejection sampling", gaussian,
+      FastSpec(k, 40 * k, no_rejection), k, runs, 31001);
 
-  FastCoresetOptions no_jl = base;
+  api::FastOptions no_jl = base;
   no_jl.use_jl = false;
-  Row(&table, "no JL projection", gaussian, no_jl, k, runs, 31002);
+  Row(&table, "no JL projection", gaussian, FastSpec(k, 40 * k, no_jl), k,
+      runs, 31002);
 
-  FastCoresetOptions corrected = base;
+  api::FastOptions corrected = base;
   corrected.center_correction = true;
-  Row(&table, "center-correction weights", gaussian, corrected, k, runs,
-      31003);
+  Row(&table, "center-correction weights", gaussian,
+      FastSpec(k, 40 * k, corrected), k, runs, 31003);
 
-  FastCoresetOptions shallow = base;
-  shallow.seeding.max_depth = 8;
-  Row(&table, "quadtree depth cap 8", gaussian, shallow, k, runs, 31004);
+  api::FastOptions shallow = base;
+  shallow.seeding_max_depth = 8;
+  Row(&table, "quadtree depth cap 8", gaussian, FastSpec(k, 40 * k, shallow),
+      k, runs, 31004);
 
-  FastCoresetOptions deep = base;
-  deep.seeding.max_depth = 40;
-  Row(&table, "quadtree depth cap 40", gaussian, deep, k, runs, 31005);
+  api::FastOptions deep = base;
+  deep.seeding_max_depth = 40;
+  Row(&table, "quadtree depth cap 40", gaussian, FastSpec(k, 40 * k, deep), k,
+      runs, 31005);
 
   std::printf("\nGaussian mixture (gamma=3) ablations\n");
   table.Print();
@@ -98,16 +104,14 @@ int main() {
   const Matrix spread_data = GenerateSpreadDataset(n, 45, spread_rng);
   TablePrinter spread_table;
   spread_table.SetHeader({"variant", "distortion", "seconds"});
-  FastCoresetOptions plain;
-  plain.k = k;
-  plain.m = 40 * k;
+  api::FastOptions plain;
   plain.use_jl = false;  // 2-D data.
-  Row(&spread_table, "no spread reduction", spread_data, plain, k, runs,
-      31006);
-  FastCoresetOptions reduced = plain;
+  Row(&spread_table, "no spread reduction", spread_data,
+      FastSpec(k, 40 * k, plain), k, runs, 31006);
+  api::FastOptions reduced = plain;
   reduced.use_spread_reduction = true;
-  Row(&spread_table, "with spread reduction (Alg 2+3)", spread_data, reduced,
-      k, runs, 31007);
+  Row(&spread_table, "with spread reduction (Alg 2+3)", spread_data,
+      FastSpec(k, 40 * k, reduced), k, runs, 31007);
 
   std::printf("\nSpread dataset (r=45) ablations\n");
   spread_table.Print();
@@ -115,11 +119,12 @@ int main() {
   // Seeder ablation: tree-greedy (Section 8.4) vs Fast-kmeans++.
   TablePrinter seeder_table;
   seeder_table.SetHeader({"variant", "distortion", "seconds"});
-  Row(&seeder_table, "seeder: Fast-kmeans++", gaussian, base, k, runs, 31008);
-  FastCoresetOptions greedy_seeded = base;
-  greedy_seeded.seeder = FastCoresetSeeder::kTreeGreedy;
-  Row(&seeder_table, "seeder: HST tree-greedy", gaussian, greedy_seeded, k,
-      runs, 31009);
+  Row(&seeder_table, "seeder: Fast-kmeans++", gaussian,
+      FastSpec(k, 40 * k, base), k, runs, 31008);
+  api::FastOptions greedy_seeded = base;
+  greedy_seeded.seeder = api::FastSeeder::kTreeGreedy;
+  Row(&seeder_table, "seeder: HST tree-greedy", gaussian,
+      FastSpec(k, 40 * k, greedy_seeded), k, runs, 31009);
   std::printf("\nSeeder ablation (Section 8.4 extension)\n");
   seeder_table.Print();
 
@@ -129,18 +134,14 @@ int main() {
   group_table.SetHeader({"m", "group sampling", "sensitivity sampling"});
   for (size_t m : {size_t{500}, size_t{1000}, size_t{2000}, size_t{4000}}) {
     auto cell = [&](bool group) {
+      api::CoresetSpec spec;
+      spec.method = group ? "group_sampling" : "sensitivity";
+      spec.k = k;
+      spec.m = m;
       const TrialStats stats = RunTrials(
           runs, 32000 + m + group, [&](Rng& rng) {
-            Coreset coreset;
-            if (group) {
-              GroupSamplingOptions options;
-              options.k = k;
-              options.m = m;
-              coreset = GroupSamplingCoreset(gaussian, {}, options, rng);
-            } else {
-              coreset =
-                  SensitivitySamplingCoreset(gaussian, {}, k, m, 2, rng);
-            }
+            const Coreset coreset =
+                api::Build(spec, gaussian, {}, rng)->coreset;
             DistortionOptions probe;
             probe.k = k;
             return CoresetDistortion(gaussian, {}, coreset, probe, rng);
@@ -163,6 +164,11 @@ int main() {
   TablePrinter stream_table;
   stream_table.SetHeader({"uniform variant", "distortion"});
   const size_t m_stream = 40 * k;
+  api::CoresetSpec uniform_spec;
+  uniform_spec.method = "uniform";
+  uniform_spec.k = k;
+  const CoresetBuilder uniform_builder =
+      api::MakeBuilder(uniform_spec).value();
   for (const bool reservoir : {false, true}) {
     const TrialStats stats = RunTrials(runs, 33000 + reservoir, [&](Rng& rng) {
       Coreset coreset;
@@ -171,9 +177,8 @@ int main() {
         sampler.OfferAll(outliers);
         coreset = sampler.Extract();
       } else {
-        coreset = StreamingCompress(
-            outliers, {}, MakeCoresetBuilder(SamplerKind::kUniform, k, 2),
-            outliers.rows() / 8, m_stream, rng);
+        coreset = StreamingCompress(outliers, {}, uniform_builder,
+                                    outliers.rows() / 8, m_stream, rng);
       }
       DistortionOptions probe;
       probe.k = k;

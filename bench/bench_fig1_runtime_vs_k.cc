@@ -6,8 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/fast_coreset.h"
-#include "src/core/sensitivity_sampling.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/real_like.h"
 #include "src/eval/harness.h"
 
@@ -24,25 +23,21 @@ int main() {
   const int runs = bench::Runs();
   const std::vector<size_t> ks = {50, 100, 200, 400};
 
-  for (const char* method : {"Sensitivity Sampling", "Fast-Coreset"}) {
-    const bool fast = std::string(method) == "Fast-Coreset";
+  for (const char* method : {"sensitivity", "fast_coreset"}) {
+    const bool fast = std::string(method) == "fast_coreset";
     TablePrinter table;
     table.SetHeader({"Dataset", "k=50", "k=100", "k=200", "k=400"});
     for (const auto& dataset : datasets) {
       std::vector<std::string> row = {dataset.name};
       for (size_t k : ks) {
+        api::CoresetSpec spec;
+        spec.method = method;
+        spec.k = k;
+        spec.m = 40 * k;
         const TrialStats stats = RunTrials(
             runs, 9000 + k + (fast ? 1 : 0), [&](Rng& rng) {
               Timer timer;
-              if (fast) {
-                FastCoresetOptions options;
-                options.k = k;
-                options.m = 40 * k;
-                (void)FastCoreset(dataset.points, {}, options, rng);
-              } else {
-                (void)SensitivitySamplingCoreset(dataset.points, {}, k,
-                                                 40 * k, /*z=*/2, rng);
-              }
+              (void)api::Build(spec, dataset.points, {}, rng).value();
               return timer.Seconds();
             });
         row.push_back(TablePrinter::MeanVar(stats.value.Mean(),

@@ -9,8 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/core/fast_coreset.h"
-#include "src/core/lightweight_coreset.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/csv_loader.h"
 #include "src/data/generators.h"
 
@@ -70,12 +69,21 @@ int main() {
 
   const size_t m = 200;
   const size_t k = big_clusters + 1;
-  const Coreset lightweight = LightweightCoreset(points, {}, m, 2, rng);
-  FastCoresetOptions options;
-  options.k = k;
-  options.m = m;
-  options.use_jl = false;
-  const Coreset fast = FastCoreset(points, {}, options, rng);
+  api::CoresetSpec lightweight_spec;
+  lightweight_spec.method = "lightweight";
+  lightweight_spec.k = k;
+  lightweight_spec.m = m;
+  const Coreset lightweight =
+      api::Build(lightweight_spec, points, {}, rng)->coreset;
+
+  api::CoresetSpec fast_spec;
+  fast_spec.method = "fast_coreset";
+  fast_spec.k = k;
+  fast_spec.m = m;
+  api::FastOptions fast_options;
+  fast_options.use_jl = false;
+  fast_spec.options = fast_options;
+  const Coreset fast = api::Build(fast_spec, points, {}, rng)->coreset;
 
   TablePrinter table;
   table.SetHeader({"cluster", "points", "lightweight hits", "fast hits"});

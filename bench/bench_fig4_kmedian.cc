@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/samplers.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 
@@ -24,16 +24,14 @@ int main() {
   }
   const size_t k = bench::K();
   const std::vector<size_t> m_scalars = {40, 60, 80};
-  const auto samplers = {SamplerKind::kUniform, SamplerKind::kLightweight,
-                         SamplerKind::kWelterweight,
-                         SamplerKind::kFastCoreset};
+  const std::vector<std::string> samplers = {"uniform", "lightweight",
+                                             "welterweight", "fast_coreset"};
 
   TablePrinter table;
   std::vector<std::string> header = {"Dataset"};
-  for (SamplerKind kind : samplers) {
+  for (const std::string& method : samplers) {
     for (size_t ms : m_scalars) {
-      header.push_back(SamplerName(kind).substr(0, 4) + " " +
-                       std::to_string(ms) + "k");
+      header.push_back(method.substr(0, 4) + " " + std::to_string(ms) + "k");
     }
   }
   table.SetHeader(header);
@@ -41,11 +39,16 @@ int main() {
   uint64_t seed = 23000;
   for (const auto& dataset : datasets) {
     std::vector<std::string> row = {dataset.name};
-    for (SamplerKind kind : samplers) {
+    for (const std::string& method : samplers) {
       for (size_t ms : m_scalars) {
+        api::CoresetSpec spec;
+        spec.method = method;
+        spec.k = k;
+        spec.m = ms * k;
+        spec.z = 1;
         Rng rng(++seed);
-        const Coreset coreset = BuildCoreset(kind, dataset.points, {}, k,
-                                             ms * k, /*z=*/1, rng);
+        const Coreset coreset =
+            api::Build(spec, dataset.points, {}, rng)->coreset;
         DistortionOptions probe;
         probe.k = k;
         probe.z = 1;

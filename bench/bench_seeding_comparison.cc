@@ -10,12 +10,12 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/api/fastcoreset.h"
 #include "src/clustering/afkmc2.h"
 #include "src/clustering/fast_kmeans_plus_plus.h"
 #include "src/clustering/kmeans_parallel.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/tree_greedy.h"
-#include "src/core/sensitivity_sampling.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
@@ -134,7 +134,7 @@ int main() {
       seconds.Add(timer.Seconds());
       cost.Add(seed.total_cost);
       const Coreset coreset =
-          SensitivitySamplingFromSolution(points, {}, seed, m, rng);
+          api::SampleFromSolution(points, {}, seed, m, rng);
       DistortionOptions probe;
       probe.k = k;
       distortion.Add(CoresetDistortion(points, {}, coreset, probe, rng));

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/samplers.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
@@ -39,20 +39,29 @@ int main() {
   TablePrinter table;
   table.SetHeader({"Dataset", "Uniform/Sens.", "FastCoreset/Sens."});
   for (const auto& dataset : suite) {
-    auto mean_distortion = [&](SamplerKind kind) {
-      const TrialStats stats = RunTrials(
-          runs, 7000 + static_cast<uint64_t>(kind), [&](Rng& rng) {
-            const Coreset coreset = BuildCoreset(kind, dataset.points, {},
-                                                 k, m, /*z=*/2, rng);
+    // Each trial is one request-shaped spec: the seed is the only thing
+    // that changes between repetitions (RunSeededTrials derives it).
+    auto mean_distortion = [&](const std::string& method, uint64_t salt) {
+      api::CoresetSpec spec;
+      spec.method = method;
+      spec.k = k;
+      spec.m = m;
+      const TrialStats stats =
+          RunSeededTrials(runs, 7000 + salt, [&](uint64_t seed) {
+            spec.seed = seed;
+            const Coreset coreset =
+                api::Build(spec, dataset.points)->coreset;
             DistortionOptions probe;
             probe.k = k;
-            return CoresetDistortion(dataset.points, {}, coreset, probe, rng);
+            Rng probe_rng(seed ^ 0x9e3779b97f4a7c15ull);
+            return CoresetDistortion(dataset.points, {}, coreset, probe,
+                                     probe_rng);
           });
       return stats.value.Mean();
     };
-    const double sens = mean_distortion(SamplerKind::kSensitivity);
-    const double uniform = mean_distortion(SamplerKind::kUniform);
-    const double fast = mean_distortion(SamplerKind::kFastCoreset);
+    const double sens = mean_distortion("sensitivity", 3);
+    const double uniform = mean_distortion("uniform", 0);
+    const double fast = mean_distortion("fast_coreset", 4);
     auto cell = [&](double ratio) {
       std::string body = TablePrinter::Num(ratio);
       return ratio > 5.0 ? "*" + body + "*" : body;

@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/samplers.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
@@ -31,16 +31,15 @@ int main() {
   const size_t k = bench::K();
   const int runs = bench::Runs();
   const std::vector<size_t> m_scalars = {40, 80};
-  const auto samplers = {SamplerKind::kUniform, SamplerKind::kLightweight,
-                         SamplerKind::kWelterweight,
-                         SamplerKind::kFastCoreset};
+  const std::vector<std::string> samplers = {"uniform", "lightweight",
+                                             "welterweight", "fast_coreset"};
 
   TablePrinter distortion_table;
   TablePrinter runtime_table;
   std::vector<std::string> header = {"Dataset"};
-  for (SamplerKind kind : samplers) {
+  for (const std::string& method : samplers) {
     for (size_t ms : m_scalars) {
-      header.push_back(SamplerName(kind) + " m=" + std::to_string(ms) + "k");
+      header.push_back(method + " m=" + std::to_string(ms) + "k");
     }
   }
   distortion_table.SetHeader(header);
@@ -49,15 +48,18 @@ int main() {
   for (const auto& dataset : datasets) {
     std::vector<std::string> distortion_row = {dataset.name};
     std::vector<std::string> runtime_row = {dataset.name};
-    for (SamplerKind kind : samplers) {
+    for (size_t s = 0; s < samplers.size(); ++s) {
       for (size_t ms : m_scalars) {
+        api::CoresetSpec spec;
+        spec.method = samplers[s];
+        spec.k = k;
+        spec.m = ms * k;
         double build_seconds = 0.0;
         const TrialStats stats = RunTrials(
-            runs, 11000 + 17 * static_cast<uint64_t>(kind) + ms,
-            [&](Rng& rng) {
+            runs, 11000 + 17 * s + ms, [&](Rng& rng) {
               Timer timer;
-              const Coreset coreset = BuildCoreset(
-                  kind, dataset.points, {}, k, ms * k, /*z=*/2, rng);
+              const Coreset coreset =
+                  api::Build(spec, dataset.points, {}, rng)->coreset;
               build_seconds += timer.Seconds();
               DistortionOptions probe;
               probe.k = k;

@@ -9,11 +9,10 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/samplers.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
-#include "src/streaming/merge_reduce.h"
 
 int main() {
   using namespace fastcoreset;
@@ -30,16 +29,15 @@ int main() {
   const size_t k = bench::K();
   const size_t m = 40 * k;
   const int runs = bench::Runs();
-  const auto samplers = {SamplerKind::kUniform, SamplerKind::kLightweight,
-                         SamplerKind::kWelterweight,
-                         SamplerKind::kFastCoreset};
+  const std::vector<std::string> samplers = {"uniform", "lightweight",
+                                             "welterweight", "fast_coreset"};
 
   TablePrinter table;
   TablePrinter runtime_table;
   std::vector<std::string> header = {"Dataset"};
-  for (SamplerKind kind : samplers) {
-    header.push_back(SamplerName(kind) + " strm");
-    header.push_back(SamplerName(kind) + " stat");
+  for (const std::string& method : samplers) {
+    header.push_back(method + " strm");
+    header.push_back(method + " stat");
   }
   table.SetHeader(header);
   runtime_table.SetHeader(header);
@@ -49,21 +47,25 @@ int main() {
     std::vector<std::string> runtime_row = {dataset.name};
     const size_t block =
         std::max<size_t>(2 * m, dataset.points.rows() / 8);
-    for (SamplerKind kind : samplers) {
+    for (size_t s = 0; s < samplers.size(); ++s) {
+      api::CoresetSpec spec;
+      spec.method = samplers[s];
+      spec.k = k;
+      spec.m = m;
+      // One spec serves both pipelines: statically via Build, under
+      // merge-&-reduce via the CoresetBuilder adapter.
+      const CoresetBuilder builder = api::MakeBuilder(spec).value();
       for (const bool streaming : {true, false}) {
         double build_seconds = 0.0;
         const TrialStats stats = RunTrials(
-            runs, 13000 + 29 * static_cast<uint64_t>(kind) + streaming,
-            [&](Rng& rng) {
+            runs, 13000 + 29 * s + streaming, [&](Rng& rng) {
               Timer timer;
               Coreset coreset;
               if (streaming) {
-                coreset = StreamingCompress(
-                    dataset.points, {}, MakeCoresetBuilder(kind, k, 2),
-                    block, m, rng);
+                coreset = StreamingCompress(dataset.points, {}, builder,
+                                            block, m, rng);
               } else {
-                coreset = BuildCoreset(kind, dataset.points, {}, k, m, 2,
-                                       rng);
+                coreset = api::Build(spec, dataset.points, {}, rng)->coreset;
               }
               build_seconds += timer.Seconds();
               DistortionOptions probe;

@@ -6,29 +6,13 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
-#include "src/streaming/bico.h"
-#include "src/streaming/merge_reduce.h"
-
-namespace {
-
-using namespace fastcoreset;
-
-Coreset BicoCompress(const Matrix& points, const std::vector<double>& weights,
-                     size_t m, Rng& rng) {
-  (void)rng;  // BICO is deterministic given insertion order.
-  BicoOptions options;
-  options.max_features = m;
-  Bico bico(points.cols(), options);
-  bico.InsertAll(points, weights);
-  return bico.ExtractCoreset();
-}
-
-}  // namespace
 
 int main() {
+  using namespace fastcoreset;
   bench::Banner("Table 6 — BICO distortion, static and streaming",
                 "BICO fails the distortion metric on many datasets at "
                 "sensitivity-sampling coreset sizes");
@@ -54,16 +38,21 @@ int main() {
   for (const auto& dataset : datasets) {
     std::vector<std::string> row = {dataset.name};
     auto run_cell = [&](bool streaming, size_t m) {
+      api::CoresetSpec spec;
+      spec.method = "bico";
+      spec.k = k;
+      spec.m = m;  // Doubles as the CF budget (BicoOptions default).
+      const CoresetBuilder bico_builder = api::MakeBuilder(spec).value();
       const TrialStats stats = RunTrials(
           runs, 15000 + m + streaming, [&](Rng& rng) {
             Coreset coreset;
             if (streaming) {
               const size_t block =
                   std::max<size_t>(2 * m, dataset.points.rows() / 8);
-              coreset = StreamingCompress(dataset.points, {}, BicoCompress,
+              coreset = StreamingCompress(dataset.points, {}, bico_builder,
                                           block, m, rng);
             } else {
-              coreset = BicoCompress(dataset.points, {}, m, rng);
+              coreset = api::Build(spec, dataset.points, {}, rng)->coreset;
             }
             DistortionOptions probe;
             probe.k = k;

@@ -9,8 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/fast_coreset.h"
-#include "src/core/welterweight_coreset.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
@@ -29,39 +28,55 @@ int main() {
 
   struct JChoice {
     std::string label;
-    size_t j;  // 0 marks the Fast-Coreset row.
+    size_t j;   // Welterweight candidate size; 0 = the library default
+                // (ceil(log2 k), reported back via j_effective).
+    bool fast;  // The Fast-Coreset (j = k) row.
   };
-  const std::vector<JChoice> choices = {
-      {"LW Coreset (j=1)", 1},
-      {"j = 2", 2},
-      {"j = log k", DefaultWelterweightJ(k)},
+  std::vector<JChoice> choices = {
+      {"LW Coreset (j=1)", 1, false},
+      {"j = log k (default)", 0, false},
+      {"j = 2", 2, false},
       {"j = sqrt k",
-       static_cast<size_t>(std::lround(std::sqrt(static_cast<double>(k))))},
-      {"Fast Coreset (j=k)", 0},
+       static_cast<size_t>(std::lround(std::sqrt(static_cast<double>(k)))),
+       false},
+      {"Fast Coreset (j=k)", 0, true},
   };
   const std::vector<double> gammas = {0.0, 1.0, 3.0, 5.0};
 
   TablePrinter table;
   table.SetHeader(
       {"method", "gamma=0", "gamma=1", "gamma=3", "gamma=5"});
-  for (const auto& choice : choices) {
+  for (auto& choice : choices) {
     std::vector<std::string> row = {choice.label};
     for (double gamma : gammas) {
       const TrialStats stats = RunTrials(
-          runs, 17000 + choice.j * 31 + static_cast<uint64_t>(gamma),
+          runs,
+          17000 + (choice.fast ? 997 : choice.j * 31) +
+              static_cast<uint64_t>(gamma),
           [&](Rng& rng) {
             const Matrix points =
                 GenerateGaussianMixture(n, d, kappa, gamma, rng);
-            Coreset coreset;
-            if (choice.j == 0) {
-              FastCoresetOptions options;
-              options.k = k;
-              options.m = m;
-              coreset = FastCoreset(points, {}, options, rng);
+            api::CoresetSpec spec;
+            spec.k = k;
+            spec.m = m;
+            if (choice.fast) {
+              spec.method = "fast_coreset";
             } else {
-              coreset = WelterweightCoreset(points, {}, k, choice.j, m,
-                                            /*z=*/2, rng);
+              spec.method = "welterweight";
+              api::WelterweightOptions options;
+              options.j = choice.j;
+              spec.options = options;
             }
+            const api::BuildResult result =
+                api::Build(spec, points, {}, rng).value();
+            if (!choice.fast && choice.j == 0) {
+              // Surface the default the facade actually used.
+              choice.label =
+                  "j = log k = " +
+                  std::to_string(result.diagnostics.j_effective);
+              row[0] = choice.label;
+            }
+            const Coreset& coreset = result.coreset;
             DistortionOptions probe;
             probe.k = k;
             return CoresetDistortion(points, {}, coreset, probe, rng);

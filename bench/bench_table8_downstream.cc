@@ -8,10 +8,10 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/lloyd.h"
-#include "src/core/samplers.h"
 #include "src/data/real_like.h"
 
 int main() {
@@ -23,13 +23,12 @@ int main() {
   Rng data_rng(8);
   const auto suite = RealLikeSuite(bench::Scale(), data_rng);
   const size_t k = 50;
-  const auto samplers = {SamplerKind::kUniform, SamplerKind::kLightweight,
-                         SamplerKind::kWelterweight,
-                         SamplerKind::kFastCoreset};
+  const std::vector<std::string> samplers = {"uniform", "lightweight",
+                                             "welterweight", "fast_coreset"};
 
   TablePrinter table;
   std::vector<std::string> header = {"Dataset"};
-  for (SamplerKind kind : samplers) header.push_back(SamplerName(kind));
+  for (const std::string& method : samplers) header.push_back(method);
   table.SetHeader(header);
 
   size_t row_seed = 0;
@@ -38,13 +37,15 @@ int main() {
         dataset.points.rows() > 100000 ? 20000 : 4000;  // Paper's setup.
     std::vector<std::string> row = {dataset.name};
     ++row_seed;
-    for (SamplerKind kind : samplers) {
+    for (size_t s = 0; s < samplers.size(); ++s) {
       // Identical initialization within a row: the coreset build gets a
-      // method-specific stream, the solver a row-fixed one.
-      Rng build_rng(19000 + 97 * static_cast<uint64_t>(kind) + row_seed);
-      const Coreset coreset = BuildCoreset(kind, dataset.points, {}, k,
-                                           std::min(m, dataset.points.rows()),
-                                           /*z=*/2, build_rng);
+      // method-specific seed, the solver a row-fixed one.
+      api::CoresetSpec spec;
+      spec.method = samplers[s];
+      spec.k = k;
+      spec.m = std::min(m, dataset.points.rows());
+      spec.seed = 19000 + 97 * s + row_seed;
+      const Coreset coreset = api::Build(spec, dataset.points)->coreset;
       Rng solve_rng(500 + row_seed);  // Same within the row.
       const Clustering seed =
           KMeansPlusPlus(coreset.points, coreset.weights, k, 2, solve_rng);

@@ -6,12 +6,10 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/core/sensitivity_sampling.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 #include "src/eval/harness.h"
-#include "src/streaming/merge_reduce.h"
-#include "src/streaming/streamkm.h"
 
 int main() {
   using namespace fastcoreset;
@@ -25,20 +23,30 @@ int main() {
   const size_t m = 40 * k;
   const int runs = bench::Runs();
 
+  api::CoresetSpec skm_spec;
+  skm_spec.method = "stream_km";
+  skm_spec.k = k;
+  skm_spec.m = m;
+  const CoresetBuilder skm_builder = api::MakeBuilder(skm_spec).value();
+  api::CoresetSpec sens_spec;
+  sens_spec.method = "sensitivity";
+  sens_spec.k = k;
+  sens_spec.m = m;
+
   TablePrinter table;
   table.SetHeader({"Dataset", "StreamKM++", "Sensitivity (reference)"});
   for (const auto& dataset : datasets) {
     const TrialStats skm = RunTrials(runs, 21000, [&](Rng& rng) {
       const size_t block = std::max<size_t>(2 * m, dataset.points.rows() / 8);
       const Coreset coreset = StreamingCompress(
-          dataset.points, {}, MakeStreamKmBuilder(), block, m, rng);
+          dataset.points, {}, skm_builder, block, m, rng);
       DistortionOptions probe;
       probe.k = k;
       return CoresetDistortion(dataset.points, {}, coreset, probe, rng);
     });
     const TrialStats sens = RunTrials(runs, 21001, [&](Rng& rng) {
       const Coreset coreset =
-          SensitivitySamplingCoreset(dataset.points, {}, k, m, 2, rng);
+          api::Build(sens_spec, dataset.points, {}, rng)->coreset;
       DistortionOptions probe;
       probe.k = k;
       return CoresetDistortion(dataset.points, {}, coreset, probe, rng);

@@ -13,9 +13,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/common/table_printer.h"
-#include "src/core/samplers.h"
 #include "src/data/generators.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
@@ -54,18 +54,27 @@ void Advise(const std::string& name, const Matrix& points, size_t k,
   std::printf("\n== %s (n=%zu, d=%zu): imbalance %.1f — %s\n", name.c_str(),
               points.rows(), points.cols(), imbalance, advice);
 
+  // The spectrum, fastest to most accurate — every name resolves through
+  // the same registry the production entry points use.
+  const std::vector<std::string> spectrum = {
+      "uniform", "lightweight", "welterweight", "sensitivity",
+      "fast_coreset"};
   TablePrinter table;
   table.SetHeader({"method", "distortion"});
-  for (SamplerKind kind : AllSamplers()) {
-    Rng local(static_cast<uint64_t>(kind) * 7919 + 1);
-    const Coreset coreset =
-        BuildCoreset(kind, points, {}, k, m, /*z=*/2, local);
+  for (size_t i = 0; i < spectrum.size(); ++i) {
+    api::CoresetSpec spec;
+    spec.method = spectrum[i];
+    spec.k = k;
+    spec.m = m;
+    spec.seed = i * 7919 + 1;
+    Rng local(spec.seed);
+    const Coreset coreset = api::Build(spec, points, {}, local)->coreset;
     DistortionOptions probe;
     probe.k = k;
     const double distortion =
         CoresetDistortion(points, {}, coreset, probe, local);
     std::string marker = distortion > 5.0 ? "  <-- FAILS" : "";
-    table.AddRow({SamplerName(kind), TablePrinter::Num(distortion) + marker});
+    table.AddRow({spec.method, TablePrinter::Num(distortion) + marker});
   }
   table.Print();
 }

@@ -1,11 +1,17 @@
 // Command-line compression tool: reads a headerless numeric CSV, builds a
-// coreset with any method in the library, and writes the compressed rows
-// plus a weight column. A downstream user can feed the output into any
+// coreset with any registered method, and writes the compressed rows plus
+// a weight column. A downstream user can feed the output into any
 // weighted clustering implementation.
 //
+// The method name goes straight into the API registry, so every
+// registered method (and alias) works here without this tool knowing any
+// of them — and an unknown name or inconsistent request comes back as a
+// readable error, not an abort.
+//
 //   fc_compress <input.csv> <output.csv> [method] [k] [m] [z] [seed]
-//     method: uniform | lightweight | welterweight | sensitivity |
-//             fast (default) | group
+//     method: any registry name — uniform | lightweight | welterweight |
+//             sensitivity | fast_coreset (alias: fast, default) |
+//             group_sampling (alias: group) | bico | stream_km
 //     k: target cluster count (default 100)
 //     m: coreset size (default 40 * k)
 //     z: 1 = k-median, 2 = k-means (default 2)
@@ -14,10 +20,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "src/common/timer.h"
-#include "src/core/fast_coreset.h"
-#include "src/core/group_sampling.h"
-#include "src/core/samplers.h"
+#include "src/api/fastcoreset.h"
 #include "src/data/csv_loader.h"
 
 int main(int argc, char** argv) {
@@ -31,11 +34,13 @@ int main(int argc, char** argv) {
   }
   const std::string input = argv[1];
   const std::string output = argv[2];
-  const std::string method = argc > 3 ? argv[3] : "fast";
-  const size_t k = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 100;
-  const size_t m = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 40 * k;
-  const int z = argc > 6 ? std::atoi(argv[6]) : 2;
-  const uint64_t seed = argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 1;
+
+  api::CoresetSpec spec;
+  spec.method = argc > 3 ? argv[3] : "fast";
+  spec.k = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 100;
+  spec.m = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;  // 0 = 40k.
+  spec.z = argc > 6 ? std::atoi(argv[6]) : 2;
+  spec.seed = argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 1;
 
   const auto points = LoadCsv(input);
   if (!points.has_value()) {
@@ -45,34 +50,13 @@ int main(int argc, char** argv) {
   std::printf("loaded %zu x %zu from %s\n", points->rows(), points->cols(),
               input.c_str());
 
-  Rng rng(seed);
-  Timer timer;
-  Coreset coreset;
-  if (method == "uniform") {
-    coreset = BuildCoreset(SamplerKind::kUniform, *points, {}, k, m, z, rng);
-  } else if (method == "lightweight") {
-    coreset =
-        BuildCoreset(SamplerKind::kLightweight, *points, {}, k, m, z, rng);
-  } else if (method == "welterweight") {
-    coreset =
-        BuildCoreset(SamplerKind::kWelterweight, *points, {}, k, m, z, rng);
-  } else if (method == "sensitivity") {
-    coreset =
-        BuildCoreset(SamplerKind::kSensitivity, *points, {}, k, m, z, rng);
-  } else if (method == "fast") {
-    coreset =
-        BuildCoreset(SamplerKind::kFastCoreset, *points, {}, k, m, z, rng);
-  } else if (method == "group") {
-    GroupSamplingOptions options;
-    options.k = k;
-    options.m = m;
-    options.z = z;
-    coreset = GroupSamplingCoreset(*points, {}, options, rng);
-  } else {
-    std::fprintf(stderr, "error: unknown method '%s'\n", method.c_str());
+  const api::FcStatusOr<api::BuildResult> result =
+      api::Build(spec, *points);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 2;
   }
-  const double seconds = timer.Seconds();
+  const Coreset& coreset = result->coreset;
 
   // Output rows: original columns plus a trailing weight column.
   Matrix out(coreset.size(), points->cols() + 1);
@@ -91,6 +75,6 @@ int main(int argc, char** argv) {
       "in %.2fs\n",
       coreset.size(), coreset.TotalWeight(),
       static_cast<double>(points->rows()) / coreset.size(), output.c_str(),
-      seconds);
+      result->diagnostics.total_seconds);
   return 0;
 }

@@ -10,12 +10,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/lloyd.h"
 #include "src/common/table_printer.h"
 #include "src/common/timer.h"
-#include "src/core/fast_coreset.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 
@@ -59,11 +59,14 @@ int main() {
     host_union.points = Matrix(0, d);
     for (size_t w = 0; w < workers; ++w) {
       const Matrix shard = points.SelectRows(shards[w]);
-      FastCoresetOptions options;
-      options.k = k;
-      options.m = m_per_worker;
-      Rng worker_rng(1000 + w);
-      Coreset local = FastCoreset(shard, {}, options, worker_rng);
+      // The spec is exactly what a coordinator would ship to a worker:
+      // method + parameters + per-worker seed, nothing else.
+      api::CoresetSpec spec;
+      spec.method = "fast_coreset";
+      spec.k = k;
+      spec.m = m_per_worker;
+      spec.seed = 1000 + w;
+      Coreset local = api::Build(spec, shard)->coreset;
       // Reduce: union of coresets is a coreset of the union.
       for (size_t r = 0; r < local.size(); ++r) {
         host_union.indices.push_back(

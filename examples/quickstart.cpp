@@ -1,16 +1,17 @@
-// Quickstart: compress a large dataset with a Fast-Coreset, cluster on the
-// compression, and verify the solution is as good as clustering the full
-// data — at a fraction of the cost.
+// Quickstart: compress a large dataset with a Fast-Coreset through the
+// public API (src/api/fastcoreset.h), cluster on the compression, and
+// verify the solution is as good as clustering the full data — at a
+// fraction of the cost.
 //
 //   build/examples/quickstart
 
 #include <cstdio>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/lloyd.h"
 #include "src/common/timer.h"
-#include "src/core/fast_coreset.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 
@@ -27,16 +28,23 @@ int main() {
               k);
   const Matrix points = GenerateGaussianMixture(n, d, k, /*gamma=*/2.0, rng);
 
-  // 2. Build a strong coreset in near-linear time.
-  FastCoresetOptions options;
-  options.k = k;
-  options.m = 40 * k;  // The paper's default coreset size.
-  Timer coreset_timer;
-  const Coreset coreset = FastCoreset(points, /*weights=*/{}, options, rng);
-  const double coreset_seconds = coreset_timer.Seconds();
+  // 2. Build a strong coreset in near-linear time. The spec is the whole
+  //    request: method, k, size, seed — same spec, same coreset, always.
+  api::CoresetSpec spec;
+  spec.method = "fast_coreset";
+  spec.k = k;
+  spec.m = 40 * k;  // The paper's default coreset size.
+  spec.seed = 2024;
+  const api::BuildResult result = api::Build(spec, points).value();
+  const Coreset& coreset = result.coreset;
+  const double coreset_seconds = result.diagnostics.total_seconds;
   std::printf("Fast-Coreset: %zu weighted points in %.2fs (%.1fx smaller)\n",
               coreset.size(), coreset_seconds,
               static_cast<double>(n) / coreset.size());
+
+  // The diagnostics say where the time went — no bespoke timing code.
+  std::printf("\nbuild diagnostics:\n%s\n",
+              result.diagnostics.ToString().c_str());
 
   // 3. Cluster the coreset (cheap) and the full data (expensive) and
   //    compare the resulting k-means costs on the full data.
@@ -54,7 +62,7 @@ int main() {
 
   const double cost_via_coreset =
       CostToCenters(points, {}, on_coreset.centers, 2);
-  std::printf("\n%-28s %12s %10s\n", "pipeline", "k-means cost", "seconds");
+  std::printf("%-28s %12s %10s\n", "pipeline", "k-means cost", "seconds");
   std::printf("%-28s %12.3e %10.2f\n", "cluster full data",
               on_full.total_cost, full_seconds);
   std::printf("%-28s %12.3e %10.2f\n", "coreset + cluster coreset",

@@ -8,12 +8,11 @@
 
 #include <cstdio>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
-#include "src/core/samplers.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
-#include "src/streaming/merge_reduce.h"
 
 #include "examples/example_util.h"
 
@@ -26,11 +25,16 @@ int main() {
   const size_t batch_size = examples::ScaledN(8192, /*floor_n=*/m);
   const size_t batches = 16;
 
+  // Any registered method wraps into the streaming builder signature; the
+  // spec carries k/z, the compressor supplies batches, sizes, and rng.
+  api::CoresetSpec spec;
+  spec.method = "sensitivity";
+  spec.k = k;
+
   // The full stream is materialized only to audit the summary afterwards;
   // the compressor itself sees one batch at a time.
   Matrix full_stream;
-  StreamingCompressor compressor(
-      MakeCoresetBuilder(SamplerKind::kSensitivity, k, /*z=*/2), m, &rng);
+  StreamingCompressor compressor(api::MakeBuilder(spec).value(), m, &rng);
 
   std::printf("%-8s %12s %12s %14s\n", "batch", "seen", "levels",
               "summary size");
@@ -64,8 +68,10 @@ int main() {
   const double distortion =
       CoresetDistortion(full_stream, {}, summary, probe, rng);
 
-  std::printf("\nstream total: %zu points; summary: %zu weighted points\n",
-              full_stream.rows(), summary.size());
+  std::printf("\nstream total: %zu points; summary: %zu weighted points "
+              "(%zu reduce ops over %zu blocks)\n",
+              full_stream.rows(), summary.size(), compressor.ReduceOps(),
+              compressor.BlocksConsumed());
   std::printf("k-means cost via summary : %.4e\n", cost_on_stream);
   std::printf("k-means cost direct      : %.4e\n", cost_direct);
   std::printf("summary coreset distortion: %.3f\n", distortion);

@@ -9,11 +9,10 @@
 
 #include <cstdio>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/kmedian.h"
-#include "src/core/fast_coreset.h"
-#include "src/core/uniform_sampling.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
 
@@ -46,14 +45,23 @@ int main() {
   const Matrix& pickups = taxi.points;
   const size_t m = 20 * k;
 
-  // Two compressions of identical size.
-  const Coreset uniform = UniformSamplingCoreset(pickups, {}, m, rng);
-  FastCoresetOptions options;
-  options.k = k;
-  options.m = m;
-  options.z = 1;  // k-median: robust depot placement.
-  options.use_jl = false;  // Already 2-D.
-  const Coreset fast = FastCoreset(pickups, {}, options, rng);
+  // Two compressions of identical size, one spec each.
+  api::CoresetSpec uniform_spec;
+  uniform_spec.method = "uniform";
+  uniform_spec.k = k;
+  uniform_spec.m = m;
+  uniform_spec.z = 1;
+  const Coreset uniform = api::Build(uniform_spec, pickups, {}, rng)->coreset;
+
+  api::CoresetSpec fast_spec;
+  fast_spec.method = "fast_coreset";
+  fast_spec.k = k;
+  fast_spec.m = m;
+  fast_spec.z = 1;  // k-median: robust depot placement.
+  api::FastOptions fast_options;
+  fast_options.use_jl = false;  // Already 2-D.
+  fast_spec.options = fast_options;
+  const Coreset fast = api::Build(fast_spec, pickups, {}, rng)->coreset;
 
   const double cost_uniform = PlanDepots(pickups, uniform, k, rng);
   const double cost_fast = PlanDepots(pickups, fast, k, rng);

@@ -1,0 +1,75 @@
+// CoresetAlgorithm: the polymorphic interface every compression method on
+// the spectrum implements — one-shot samplers and streaming builders
+// alike. Implementations live behind the string-keyed Registry
+// (src/api/registry.h) and self-register, so adding a method never means
+// growing an enum switch.
+
+#ifndef FASTCORESET_API_ALGORITHM_H_
+#define FASTCORESET_API_ALGORITHM_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/api/diagnostics.h"
+#include "src/api/spec.h"
+#include "src/common/rng.h"
+#include "src/core/coreset.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+namespace api {
+
+/// A compression method. Implementations are stateless (all per-build
+/// state flows through the arguments), so one shared instance per
+/// registered name serves every caller concurrently.
+class CoresetAlgorithm {
+ public:
+  virtual ~CoresetAlgorithm() = default;
+
+  /// Canonical registry name ("fast_coreset", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// Method-specific spec checks on top of CoresetSpec::Validate():
+  /// rejects a mismatched options tag (e.g. welterweight options on a
+  /// uniform build) and any constraint the method imposes (bico needs
+  /// z == 2). The default accepts monostate only.
+  virtual FcStatus ValidateSpec(const CoresetSpec& spec) const;
+
+  /// Method-specific *input* checks on top of the facade's common pass
+  /// (shape match, finite non-negative weights, positive total). Runs
+  /// before Build() so inputs the method cannot digest are reported, not
+  /// aborted on — e.g. bico rejects individual zero weights. The default
+  /// accepts.
+  virtual FcStatus ValidateInput(const Matrix& points,
+                                 const std::vector<double>& weights) const;
+
+  /// Builds a coreset of (points, weights) targeting `m` rows, consuming
+  /// randomness from `rng`. `m` is passed separately from the spec so
+  /// streaming composition can override it per reduce call. The spec has
+  /// already passed Validate() + ValidateSpec() and `weights` is empty or
+  /// n-sized; implementations must not FC_CHECK on spec-reachable state.
+  /// `diag` may be nullptr; when set, implementations record effective
+  /// parameters (j_effective) and internal stage timings.
+  virtual Coreset Build(const CoresetSpec& spec, const Matrix& points,
+                        const std::vector<double>& weights, size_t m,
+                        Rng& rng, BuildDiagnostics* diag) const = 0;
+
+ protected:
+  /// Helper for ValidateSpec overrides: ok iff the spec's options hold
+  /// monostate or `AllowedT`.
+  template <typename AllowedT>
+  static FcStatus ExpectOptions(const CoresetSpec& spec) {
+    if (std::holds_alternative<std::monostate>(spec.options) ||
+        std::holds_alternative<AllowedT>(spec.options)) {
+      return FcStatus::Ok();
+    }
+    return FcStatus::InvalidArgument(
+        "method '" + spec.method + "' got sub-options for '" +
+        MethodOptionsName(spec.options) + "'");
+  }
+};
+
+}  // namespace api
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_API_ALGORITHM_H_

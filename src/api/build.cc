@@ -1,0 +1,207 @@
+// Facade entry points: spec validation, one-shot and streaming builds,
+// and the CoresetBuilder adapter for merge-&-reduce composition.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "src/api/fastcoreset.h"
+#include "src/common/timer.h"
+#include "src/core/sensitivity_sampling.h"
+
+namespace fastcoreset {
+namespace api {
+
+namespace {
+
+/// The shared request prologue every entry point runs: common spec
+/// invariants, registry lookup, and the method's own spec checks.
+FcStatusOr<const CoresetAlgorithm*> ResolveAndValidate(
+    const CoresetSpec& spec) {
+  FcStatus status = spec.Validate();
+  if (!status.ok()) return status;
+  FcStatusOr<const CoresetAlgorithm*> algo =
+      Registry::Instance().Get(spec.method);
+  if (!algo.ok()) return algo.status();
+  status = algo.value()->ValidateSpec(spec);
+  if (!status.ok()) return status;
+  return algo;
+}
+
+/// n-dependent request checks shared by every build path.
+FcStatus ValidateInput(const Matrix& points,
+                       const std::vector<double>& weights) {
+  if (points.rows() == 0) {
+    return FcStatus::InvalidArgument("input has no points");
+  }
+  if (points.cols() == 0) {
+    return FcStatus::InvalidArgument("input has zero dimensions");
+  }
+  if (!weights.empty() && weights.size() != points.rows()) {
+    return FcStatus::InvalidArgument(
+        "weights size (" + std::to_string(weights.size()) +
+        ") does not match input rows (" + std::to_string(points.rows()) +
+        ")");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!std::isfinite(weights[i]) || weights[i] < 0.0) {
+      return FcStatus::InvalidArgument(
+          "weights[" + std::to_string(i) + "] must be finite and >= 0");
+    }
+    total += weights[i];
+  }
+  if (!weights.empty() && total <= 0.0) {
+    // Every sampler needs positive total mass to draw from.
+    return FcStatus::InvalidArgument("weights sum to zero");
+  }
+  return FcStatus::Ok();
+}
+
+/// The streaming CoresetBuilder closure over a resolved algorithm. The
+/// registry instance outlives every closure (process-lived). The
+/// CoresetBuilder signature has no status channel, so per-call inputs
+/// the method cannot digest are a caller contract violation — checked
+/// here with the facade's own diagnostics so the failure names the real
+/// cause instead of a deep internal FC_CHECK.
+CoresetBuilder BuilderFor(const CoresetAlgorithm* algorithm,
+                          const CoresetSpec& spec) {
+  return CoresetBuilder(
+      [algorithm, spec](const Matrix& points,
+                        const std::vector<double>& weights, size_t m,
+                        Rng& rng) {
+        FcStatus status = ValidateInput(points, weights);
+        if (status.ok()) status = algorithm->ValidateInput(points, weights);
+        FC_CHECK_MSG(status.ok(), status.ToString().c_str());
+        return algorithm->Build(spec, points, weights, m, rng,
+                                /*diag=*/nullptr);
+      });
+}
+
+/// Pre-populates the diagnostics every build reports.
+BuildDiagnostics StartDiagnostics(const CoresetAlgorithm& algo,
+                                  const CoresetSpec& spec,
+                                  const Matrix& points, size_t m) {
+  BuildDiagnostics diag;
+  diag.method = std::string(algo.Name());
+  diag.seed = spec.seed;
+  diag.input_rows = points.rows();
+  diag.input_dims = points.cols();
+  diag.points_processed = points.rows();
+  diag.bytes_processed = points.rows() * points.cols() * sizeof(double);
+  diag.k = spec.k;
+  diag.m_requested = spec.m;
+  diag.m_effective = m;
+  diag.z = spec.z;
+  return diag;
+}
+
+void FinishDiagnostics(const Coreset& coreset, double seconds,
+                       BuildDiagnostics* diag) {
+  diag->total_seconds = seconds;
+  diag->output_rows = coreset.size();
+  diag->output_total_weight = coreset.TotalWeight();
+}
+
+}  // namespace
+
+FcStatus ValidateSpec(const CoresetSpec& spec) {
+  return ResolveAndValidate(spec).status();
+}
+
+FcStatusOr<BuildResult> Build(const CoresetSpec& spec, const Matrix& points,
+                              const std::vector<double>& weights, Rng& rng) {
+  FcStatusOr<const CoresetAlgorithm*> algo = ResolveAndValidate(spec);
+  if (!algo.ok()) return algo.status();
+
+  if (!weights.empty() && !spec.weights.empty()) {
+    return FcStatus::InvalidArgument(
+        "weights passed both in the spec and as an argument");
+  }
+  const std::vector<double>& effective_weights =
+      weights.empty() ? spec.weights : weights;
+  FcStatus status = ValidateInput(points, effective_weights);
+  if (!status.ok()) return status;
+  status = algo.value()->ValidateInput(points, effective_weights);
+  if (!status.ok()) return status;
+
+  const size_t m = spec.EffectiveM();
+  BuildDiagnostics diag = StartDiagnostics(*algo.value(), spec, points, m);
+  diag.external_rng = true;
+  Timer timer;
+  Coreset coreset =
+      algo.value()->Build(spec, points, effective_weights, m, rng, &diag);
+  FinishDiagnostics(coreset, timer.Seconds(), &diag);
+  return BuildResult{std::move(coreset), std::move(diag)};
+}
+
+FcStatusOr<BuildResult> Build(const CoresetSpec& spec, const Matrix& points) {
+  Rng rng(spec.seed);
+  FcStatusOr<BuildResult> result = Build(spec, points, {}, rng);
+  if (result.ok()) result->diagnostics.external_rng = false;
+  return result;
+}
+
+FcStatusOr<CoresetBuilder> MakeBuilder(const CoresetSpec& spec) {
+  FcStatusOr<const CoresetAlgorithm*> algo = ResolveAndValidate(spec);
+  if (!algo.ok()) return algo.status();
+  if (!spec.weights.empty()) {
+    return FcStatus::InvalidArgument(
+        "spec.weights is meaningless for a streaming builder (the "
+        "compressor supplies weights per call)");
+  }
+  return BuilderFor(algo.value(), spec);
+}
+
+FcStatusOr<BuildResult> BuildStreaming(const CoresetSpec& spec,
+                                       const Matrix& points,
+                                       size_t block_size) {
+  if (block_size == 0) {
+    return FcStatus::InvalidArgument("block_size must be >= 1");
+  }
+  FcStatusOr<const CoresetAlgorithm*> algo = ResolveAndValidate(spec);
+  if (!algo.ok()) return algo.status();
+  if (!spec.weights.empty()) {
+    return FcStatus::InvalidArgument(
+        "spec.weights is not supported for streaming builds (push "
+        "weighted batches through StreamingCompressor directly)");
+  }
+  FcStatus status = ValidateInput(points, /*weights=*/{});
+  if (!status.ok()) return status;
+
+  const size_t m = spec.EffectiveM();
+  BuildDiagnostics diag = StartDiagnostics(*algo.value(), spec, points, m);
+
+  Timer timer;
+  Rng rng(spec.seed);
+  StreamingCompressor compressor(BuilderFor(algo.value(), spec), m, &rng);
+  for (size_t start = 0; start < points.rows(); start += block_size) {
+    const size_t end = std::min(points.rows(), start + block_size);
+    std::vector<size_t> rows(end - start);
+    for (size_t i = start; i < end; ++i) rows[i - start] = i;
+    compressor.Push(points.SelectRows(rows));
+  }
+  diag.stages.push_back({"push_blocks", timer.Seconds()});
+  diag.stream_blocks = compressor.BlocksConsumed();
+  diag.stream_levels = compressor.OccupiedLevels();
+
+  Timer finalize_timer;
+  Coreset coreset = compressor.Finalize();
+  diag.stages.push_back({"finalize", finalize_timer.Seconds()});
+  diag.stream_reduce_ops = compressor.ReduceOps();
+  diag.points_processed = compressor.BuilderRowsProcessed();
+  diag.bytes_processed =
+      diag.points_processed * points.cols() * sizeof(double);
+  FinishDiagnostics(coreset, timer.Seconds(), &diag);
+  return BuildResult{std::move(coreset), std::move(diag)};
+}
+
+Coreset SampleFromSolution(const Matrix& points,
+                           const std::vector<double>& weights,
+                           const Clustering& solution, size_t m, Rng& rng) {
+  return SensitivitySamplingFromSolution(points, weights, solution, m, rng);
+}
+
+}  // namespace api
+}  // namespace fastcoreset

@@ -1,0 +1,74 @@
+// Structured build diagnostics: every facade build reports what it did —
+// effective parameters, rng seed, input/output volumes, and a per-stage
+// wall-clock breakdown — so harnesses, benches, and (eventually) a server
+// frontend can log and account builds without bespoke timing code.
+
+#ifndef FASTCORESET_API_DIAGNOSTICS_H_
+#define FASTCORESET_API_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/coreset.h"
+
+namespace fastcoreset {
+namespace api {
+
+/// One timed pipeline stage ("seeding", "sampling", ...).
+struct StageTime {
+  std::string name;
+  double seconds = 0.0;
+};
+
+/// What a build actually did. All fields are filled by the facade; the
+/// per-stage vector additionally gets method-internal stages where the
+/// core exposes them (fast_coreset reports jl/seeding/sensitivity/
+/// sampling, streaming builds report per-phase reduce work).
+struct BuildDiagnostics {
+  std::string method;        ///< Canonical registry name used.
+  uint64_t seed = 0;         ///< Rng seed (meaningful when !external_rng).
+  bool external_rng = false; ///< Randomness came from a caller-owned Rng.
+
+  size_t input_rows = 0;   ///< n of the build input.
+  size_t input_dims = 0;   ///< d of the build input.
+  /// Rows fed through compression, including streaming re-reductions
+  /// (== input_rows for one-shot builds).
+  size_t points_processed = 0;
+  /// points_processed * input_dims * sizeof(double).
+  size_t bytes_processed = 0;
+
+  size_t k = 0;            ///< Effective cluster count.
+  size_t m_requested = 0;  ///< spec.m as given (0 = default).
+  size_t m_effective = 0;  ///< Resolved coreset size target.
+  int z = 2;               ///< Cost exponent.
+  /// Candidate-solution size actually used by j-center samplers
+  /// (welterweight j, sensitivity k, lightweight 1); 0 when the method
+  /// has no such notion.
+  size_t j_effective = 0;
+
+  size_t output_rows = 0;          ///< Coreset rows produced.
+  double output_total_weight = 0;  ///< Kahan-summed coreset weight.
+
+  /// Streaming (merge-&-reduce) builds only; 0 for one-shot builds.
+  size_t stream_blocks = 0;      ///< Blocks pushed.
+  size_t stream_reduce_ops = 0;  ///< Builder invocations beyond the blocks.
+  size_t stream_levels = 0;      ///< Occupied levels at finalize.
+
+  std::vector<StageTime> stages;  ///< Wall-clock per pipeline stage.
+  double total_seconds = 0.0;     ///< Wall-clock of the whole build.
+
+  /// Multi-line human-readable report (stable key=value lines).
+  std::string ToString() const;
+};
+
+/// A facade build's product: the coreset plus its diagnostics.
+struct BuildResult {
+  Coreset coreset;
+  BuildDiagnostics diagnostics;
+};
+
+}  // namespace api
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_API_DIAGNOSTICS_H_

@@ -1,0 +1,93 @@
+#include "src/api/registry.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace fastcoreset {
+namespace api {
+
+FcStatus CoresetAlgorithm::ValidateSpec(const CoresetSpec& spec) const {
+  if (std::holds_alternative<std::monostate>(spec.options)) {
+    return FcStatus::Ok();
+  }
+  return FcStatus::InvalidArgument(
+      "method '" + spec.method + "' takes no sub-options, got '" +
+      MethodOptionsName(spec.options) + "'");
+}
+
+FcStatus CoresetAlgorithm::ValidateInput(
+    const Matrix& /*points*/, const std::vector<double>& /*weights*/) const {
+  return FcStatus::Ok();
+}
+
+Registry& Registry::Instance() {
+  internal::EnsureBuiltinAlgorithmsLinked();
+  static Registry* registry = new Registry();  // Leaked: process lifetime.
+  return *registry;
+}
+
+void Registry::Register(const std::string& name, Factory factory,
+                        const std::vector<std::string>& aliases) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FC_CHECK_MSG(!name.empty(), "registry name is empty");
+  FC_CHECK_MSG(entries_.find(name) == entries_.end(),
+               "duplicate registry name");
+  Entry entry;
+  entry.factory = std::move(factory);
+  entry.canonical = name;
+  entries_.emplace(name, std::move(entry));
+  for (const std::string& alias : aliases) {
+    FC_CHECK_MSG(entries_.find(alias) == entries_.end(),
+                 "duplicate registry alias");
+    Entry alias_entry;
+    alias_entry.is_alias = true;
+    alias_entry.canonical = name;
+    entries_.emplace(alias, std::move(alias_entry));
+  }
+}
+
+const Registry::Entry* Registry::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.is_alias) {
+    it = entries_.find(it->second.canonical);
+    if (it == entries_.end()) return nullptr;
+  }
+  return &it->second;
+}
+
+FcStatusOr<const CoresetAlgorithm*> Registry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* entry = Find(name);
+  if (entry == nullptr) {
+    std::string known;
+    for (const auto& [key, value] : entries_) {
+      if (value.is_alias) continue;
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return FcStatus::NotFound("no coreset method named '" + name +
+                              "' (registered: " + known + ")");
+  }
+  if (!entry->instance) entry->instance = entry->factory();
+  return FcStatusOr<const CoresetAlgorithm*>(entry->instance.get());
+}
+
+bool Registry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Find(name) != nullptr;
+}
+
+std::vector<std::string> Registry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry.is_alias) names.push_back(key);
+  }
+  return names;  // std::map iteration is already sorted.
+}
+
+}  // namespace api
+}  // namespace fastcoreset

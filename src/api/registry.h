@@ -1,0 +1,95 @@
+// String-keyed registry of CoresetAlgorithm implementations.
+//
+// Methods self-register at static-initialization time via
+// FC_REGISTER_CORESET_ALGORITHM (see src/api/algorithms.cc for the
+// built-in spectrum), so new methods — in-tree or out-of-tree — plug in
+// without touching any dispatch switch. Lookup is by canonical name or
+// alias; unknown names are a recoverable kNotFound, never an abort.
+
+#ifndef FASTCORESET_API_REGISTRY_H_
+#define FASTCORESET_API_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/api/algorithm.h"
+#include "src/api/status.h"
+
+namespace fastcoreset {
+namespace api {
+
+namespace internal {
+/// No-op defined next to the built-in registrations; calling it from
+/// Registry::Instance() keeps the static linker from dropping their
+/// translation unit (see src/api/algorithms.cc).
+void EnsureBuiltinAlgorithmsLinked();
+}  // namespace internal
+
+/// Process-wide algorithm registry. Thread-safe; instances are created
+/// once per name and shared (algorithms are stateless).
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<CoresetAlgorithm>()>;
+
+  /// The singleton.
+  static Registry& Instance();
+
+  /// Registers `factory` under `name` (plus optional aliases). Duplicate
+  /// names are a programming error and abort: two methods silently
+  /// shadowing each other would corrupt every lookup after it.
+  void Register(const std::string& name, Factory factory,
+                const std::vector<std::string>& aliases = {});
+
+  /// Looks up a method by canonical name or alias. The pointer is owned
+  /// by the registry and lives for the process.
+  FcStatusOr<const CoresetAlgorithm*> Get(const std::string& name) const;
+
+  /// True when `name` (or alias) is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Sorted canonical names (aliases excluded).
+  std::vector<std::string> Names() const;
+
+ private:
+  struct Entry {
+    Factory factory;
+    mutable std::unique_ptr<CoresetAlgorithm> instance;  ///< Lazily built.
+    bool is_alias = false;
+    std::string canonical;  ///< Self for canonical entries.
+  };
+
+  const Entry* Find(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Static-initialization helper: declaring a namespace-scope
+/// `RegistryRegistration` value registers the factory before main().
+struct RegistryRegistration {
+  RegistryRegistration(const std::string& name, Registry::Factory factory,
+                       const std::vector<std::string>& aliases = {}) {
+    Registry::Instance().Register(name, std::move(factory), aliases);
+  }
+};
+
+/// Registers `AlgorithmT` (default-constructible) under `name`. Use at
+/// namespace scope in a .cc linked into the binary:
+///   FC_REGISTER_CORESET_ALGORITHM("my_method", MyAlgorithm);
+#define FC_REGISTER_CORESET_ALGORITHM(name, AlgorithmT, ...)             \
+  static const ::fastcoreset::api::RegistryRegistration                  \
+      fc_registration_##AlgorithmT(                                      \
+          name, [] {                                                     \
+            return std::unique_ptr<::fastcoreset::api::CoresetAlgorithm>( \
+                new AlgorithmT());                                       \
+          },                                                             \
+          ##__VA_ARGS__)
+
+}  // namespace api
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_API_REGISTRY_H_

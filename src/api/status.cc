@@ -1,0 +1,23 @@
+#include "src/api/status.h"
+
+namespace fastcoreset {
+namespace api {
+
+std::string FcErrorCodeName(FcErrorCode code) {
+  switch (code) {
+    case FcErrorCode::kOk:
+      return "ok";
+    case FcErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case FcErrorCode::kNotFound:
+      return "not_found";
+    case FcErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case FcErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace api
+}  // namespace fastcoreset

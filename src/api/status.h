@@ -1,0 +1,129 @@
+// Recoverable-error model for the public facade (src/api/fastcoreset.h).
+//
+// The internal layers use FC_CHECK for contract violations: a broken
+// invariant inside the library is a bug and aborting is correct. The
+// facade, in contrast, receives *requests* — specs that may come from a
+// config file, a CLI flag, or (eventually) a server frontend — and a bad
+// request must be reported, not fatal. FcStatus / FcStatusOr<T> are an
+// `expected`-style pair: exception-free, cheap to return, and explicit at
+// every call site.
+
+#ifndef FASTCORESET_API_STATUS_H_
+#define FASTCORESET_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace fastcoreset {
+namespace api {
+
+/// Error taxonomy for facade calls. Kept deliberately small: callers
+/// branch on "which kind of bad", not on individual messages.
+enum class FcErrorCode {
+  kOk = 0,
+  kInvalidArgument,      ///< The spec or inputs are inconsistent.
+  kNotFound,             ///< No registered algorithm under that name.
+  kFailedPrecondition,   ///< Inputs don't satisfy the method's needs.
+  kInternal,             ///< A bug surfaced as a recoverable error.
+};
+
+/// Human-readable name of an error code ("invalid_argument", ...).
+std::string FcErrorCodeName(FcErrorCode code);
+
+/// Success-or-error result of a facade call that returns no value.
+class FcStatus {
+ public:
+  /// Success.
+  FcStatus() : code_(FcErrorCode::kOk) {}
+
+  static FcStatus Ok() { return FcStatus(); }
+  static FcStatus InvalidArgument(std::string message) {
+    return FcStatus(FcErrorCode::kInvalidArgument, std::move(message));
+  }
+  static FcStatus NotFound(std::string message) {
+    return FcStatus(FcErrorCode::kNotFound, std::move(message));
+  }
+  static FcStatus FailedPrecondition(std::string message) {
+    return FcStatus(FcErrorCode::kFailedPrecondition, std::move(message));
+  }
+  static FcStatus Internal(std::string message) {
+    return FcStatus(FcErrorCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == FcErrorCode::kOk; }
+  FcErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>" — for logs and CLI error output.
+  std::string ToString() const {
+    if (ok()) return "ok";
+    return FcErrorCodeName(code_) + ": " + message_;
+  }
+
+ private:
+  FcStatus(FcErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  FcErrorCode code_;
+  std::string message_;
+};
+
+/// Value-or-error result of a facade call. Holds either a T or a non-ok
+/// FcStatus; accessing the value of an error aborts with the status text
+/// (so `Build(spec, points).value()` is safe shorthand in code that has
+/// already validated its spec, e.g. benches and examples).
+template <typename T>
+class FcStatusOr {
+ public:
+  /// Implicit from a value (success).
+  FcStatusOr(T value) : value_(std::move(value)) {}
+
+  /// Implicit from a non-ok status (error). Constructing from an ok
+  /// status without a value is a caller bug.
+  FcStatusOr(FcStatus status) : status_(std::move(status)) {
+    FC_CHECK_MSG(!status_.ok(), "FcStatusOr built from ok status, no value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: Ok() when a value is held.
+  const FcStatus& status() const { return status_; }
+
+  /// The held value; aborts with the status text when this is an error.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      internal_check::CheckFailed("FcStatusOr", 0, "value()",
+                                  status_.ToString().c_str());
+    }
+  }
+
+  FcStatus status_;  ///< Ok() iff value_ holds a T.
+  std::optional<T> value_;
+};
+
+}  // namespace api
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_API_STATUS_H_

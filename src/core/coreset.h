@@ -28,9 +28,18 @@ struct Coreset {
   size_t size() const { return points.rows(); }
 
   /// Sum of the weights (should concentrate around the source total).
+  /// Kahan-compensated: coreset weights routinely mix magnitudes (a heavy
+  /// synthetic center next to light sampled points), where naive
+  /// left-to-right summation silently drops the small terms.
   double TotalWeight() const {
     double total = 0.0;
-    for (double w : weights) total += w;
+    double compensation = 0.0;
+    for (double w : weights) {
+      const double y = w - compensation;
+      const double t = total + y;
+      compensation = (t - total) - y;
+      total = t;
+    }
     return total;
   }
 };

@@ -4,6 +4,7 @@
 
 #include "src/clustering/kmedian.h"
 #include "src/clustering/tree_greedy.h"
+#include "src/common/timer.h"
 #include "src/core/importance.h"
 #include "src/geometry/jl_projection.h"
 #include "src/spread/crude_approx.h"
@@ -53,11 +54,13 @@ Matrix RefineCenters(const Matrix& points, const std::vector<double>& weights,
 }  // namespace
 
 Coreset FastCoreset(const Matrix& points, const std::vector<double>& weights,
-                    const FastCoresetOptions& options, Rng& rng) {
+                    const FastCoresetOptions& options, Rng& rng,
+                    FastCoresetStageTimes* stage_times) {
   FC_CHECK_GT(points.rows(), 0u);
   FC_CHECK_GT(options.k, 0u);
   FC_CHECK(options.z == 1 || options.z == 2);
   const size_t m = options.m == 0 ? 40 * options.k : options.m;
+  Timer stage_timer;
 
   // Step 1: dimension reduction. The seeding runs on the proxy; all costs
   // and sampled points come from the original space.
@@ -71,6 +74,10 @@ Coreset FastCoreset(const Matrix& points, const std::vector<double>& weights,
       seed_space = &projected;
     }
   }
+  if (stage_times != nullptr) {
+    stage_times->jl_seconds = stage_timer.Seconds();
+    stage_timer.Reset();
+  }
 
   // Step 2b (optional): spread reduction on the seeding proxy. Rows of the
   // reduced set correspond 1:1 to input rows, so assignments carry over.
@@ -83,6 +90,11 @@ Coreset FastCoreset(const Matrix& points, const std::vector<double>& weights,
       reduced = std::move(reduction.points);
       seed_space = &reduced;
     }
+  }
+  if (stage_times != nullptr) {
+    stage_times->spread_seconds = stage_timer.Seconds();
+    stage_times->seed_dims = seed_space->cols();
+    stage_timer.Reset();
   }
 
   // Step 2: seed an approximate solution with assignments.
@@ -98,6 +110,10 @@ Coreset FastCoreset(const Matrix& points, const std::vector<double>& weights,
     solution = FastKMeansPlusPlus(*seed_space, weights, options.k, seeding,
                                   rng);
   }
+  if (stage_times != nullptr) {
+    stage_times->seeding_seconds = stage_timer.Seconds();
+    stage_timer.Reset();
+  }
 
   // Step 3: refine centers and evaluate sensitivities in the original
   // space (the assignment is reused; only the cost geometry changes).
@@ -106,12 +122,19 @@ Coreset FastCoreset(const Matrix& points, const std::vector<double>& weights,
                     solution.centers.rows(), options.z);
   const ImportanceScores scores = ComputeSensitivities(
       points, weights, solution.assignment, centers, options.z);
+  if (stage_times != nullptr) {
+    stage_times->sensitivity_seconds = stage_timer.Seconds();
+    stage_timer.Reset();
+  }
 
   // Step 4: importance-sample and weight.
   Coreset coreset = SampleByImportance(points, weights, scores, m, rng);
   if (options.center_correction) {
     ApplyCenterCorrection(points, weights, solution.assignment, centers,
                           options.correction_eps, &coreset);
+  }
+  if (stage_times != nullptr) {
+    stage_times->sampling_seconds = stage_timer.Seconds();
   }
   return coreset;
 }

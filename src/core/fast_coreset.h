@@ -56,10 +56,24 @@ struct FastCoresetOptions {
   FastKMeansPlusPlusOptions seeding;
 };
 
+/// Per-stage wall-clock of one FastCoreset run, for the facade's build
+/// diagnostics (src/api/diagnostics.h). Timing never touches the rng, so
+/// collecting it cannot perturb the sampled coreset.
+struct FastCoresetStageTimes {
+  double jl_seconds = 0.0;           ///< Step 1 (0 when skipped).
+  double spread_seconds = 0.0;       ///< Step 2b (0 when off).
+  double seeding_seconds = 0.0;      ///< Step 2.
+  double sensitivity_seconds = 0.0;  ///< Step 3 (refine + eq. (1)).
+  double sampling_seconds = 0.0;     ///< Step 4 (+ center correction).
+  size_t seed_dims = 0;              ///< Dimensions the seeder ran in.
+};
+
 /// Builds a Fast-Coreset of `points` (optionally weighted). The coreset's
 /// rows are rows of `points` (plus synthetic correction points if enabled).
+/// `stage_times`, when non-null, receives the per-stage breakdown.
 Coreset FastCoreset(const Matrix& points, const std::vector<double>& weights,
-                    const FastCoresetOptions& options, Rng& rng);
+                    const FastCoresetOptions& options, Rng& rng,
+                    FastCoresetStageTimes* stage_times = nullptr);
 
 /// Algorithm 1 steps 3–5 in isolation: given any assignment of the points
 /// into `num_clusters` groups, refine each group's center to its 1-mean

@@ -1,3 +1,8 @@
+// Deprecated shims (see samplers.h). The switch dispatches to the same
+// per-method entry points the facade's registry adapters call, with the
+// same rng-consumption order — that is what keeps the two paths
+// bit-identical at equal seeds during the deprecation window.
+
 #include "src/core/samplers.h"
 
 #include "src/core/lightweight_coreset.h"
@@ -6,6 +11,36 @@
 #include "src/core/welterweight_coreset.h"
 
 namespace fastcoreset {
+
+namespace {
+
+/// Non-deprecated body shared by both shims (so the library itself builds
+/// without deprecation warnings).
+Coreset BuildCoresetImpl(SamplerKind kind, const Matrix& points,
+                         const std::vector<double>& weights, size_t k,
+                         size_t m, int z, Rng& rng, size_t j) {
+  switch (kind) {
+    case SamplerKind::kUniform:
+      return UniformSamplingCoreset(points, weights, m, rng);
+    case SamplerKind::kLightweight:
+      return LightweightCoreset(points, weights, m, z, rng);
+    case SamplerKind::kWelterweight:
+      return WelterweightCoreset(points, weights, k, j, m, z, rng);
+    case SamplerKind::kSensitivity:
+      return SensitivitySamplingCoreset(points, weights, k, m, z, rng);
+    case SamplerKind::kFastCoreset: {
+      FastCoresetOptions options;
+      options.k = k;
+      options.m = m;
+      options.z = z;
+      return FastCoreset(points, weights, options, rng);
+    }
+  }
+  FC_CHECK_MSG(false, "unreachable sampler kind");
+  return Coreset{};
+}
+
+}  // namespace
 
 std::string SamplerName(SamplerKind kind) {
   switch (kind) {
@@ -32,25 +67,7 @@ std::vector<SamplerKind> AllSamplers() {
 Coreset BuildCoreset(SamplerKind kind, const Matrix& points,
                      const std::vector<double>& weights, size_t k, size_t m,
                      int z, Rng& rng, size_t j) {
-  switch (kind) {
-    case SamplerKind::kUniform:
-      return UniformSamplingCoreset(points, weights, m, rng);
-    case SamplerKind::kLightweight:
-      return LightweightCoreset(points, weights, m, z, rng);
-    case SamplerKind::kWelterweight:
-      return WelterweightCoreset(points, weights, k, j, m, z, rng);
-    case SamplerKind::kSensitivity:
-      return SensitivitySamplingCoreset(points, weights, k, m, z, rng);
-    case SamplerKind::kFastCoreset: {
-      FastCoresetOptions options;
-      options.k = k;
-      options.m = m;
-      options.z = z;
-      return FastCoreset(points, weights, options, rng);
-    }
-  }
-  FC_CHECK_MSG(false, "unreachable sampler kind");
-  return Coreset{};
+  return BuildCoresetImpl(kind, points, weights, k, m, z, rng, j);
 }
 
 CoresetBuilder MakeCoresetBuilder(SamplerKind kind, size_t k, int z,
@@ -58,7 +75,7 @@ CoresetBuilder MakeCoresetBuilder(SamplerKind kind, size_t k, int z,
   return [kind, k, z, j](const Matrix& points,
                          const std::vector<double>& weights, size_t m,
                          Rng& rng) {
-    return BuildCoreset(kind, points, weights, k, m, z, rng, j);
+    return BuildCoresetImpl(kind, points, weights, k, m, z, rng, j);
   };
 }
 

@@ -1,5 +1,11 @@
-// Uniform registry over all compression methods, used by the experiment
-// harness and the streaming layer (which treats samplers as black boxes).
+// DEPRECATED enum-switch registry over the compression methods.
+//
+// Superseded by the unified facade in src/api/fastcoreset.h (CoresetSpec +
+// string-keyed Registry + BuildResult diagnostics), which reaches every
+// method's options and reports recoverable errors instead of aborting.
+// These shims stay for one release so out-of-tree callers keep compiling;
+// at equal seeds they produce bit-identical coresets to the facade
+// (pinned by tests/api_test.cc). New code must not use them.
 
 #ifndef FASTCORESET_CORE_SAMPLERS_H_
 #define FASTCORESET_CORE_SAMPLERS_H_
@@ -13,7 +19,7 @@
 namespace fastcoreset {
 
 /// The sampling-method spectrum of Section 5.2, ordered fastest to most
-/// accurate.
+/// accurate. Superseded by registry names ("uniform", ..., "fast_coreset").
 enum class SamplerKind {
   kUniform,
   kLightweight,
@@ -29,14 +35,19 @@ std::string SamplerName(SamplerKind kind);
 std::vector<SamplerKind> AllSamplers();
 
 /// Builds a coreset of size m with the selected method. `k` is the target
-/// cluster count; `j` only affects welterweight (0 = default log2 k).
-Coreset BuildCoreset(SamplerKind kind, const Matrix& points,
-                     const std::vector<double>& weights, size_t k, size_t m,
-                     int z, Rng& rng, size_t j = 0);
+/// cluster count; `j` only affects welterweight (0 = default log2 k) —
+/// the parameter leak that motivated the facade's per-method sub-options.
+[[deprecated(
+    "use api::Build with a CoresetSpec (src/api/fastcoreset.h)")]] Coreset
+BuildCoreset(SamplerKind kind, const Matrix& points,
+             const std::vector<double>& weights, size_t k, size_t m, int z,
+             Rng& rng, size_t j = 0);
 
 /// Wraps a method into the streaming CoresetBuilder signature.
-CoresetBuilder MakeCoresetBuilder(SamplerKind kind, size_t k, int z,
-                                  size_t j = 0);
+[[deprecated(
+    "use api::MakeBuilder with a CoresetSpec "
+    "(src/api/fastcoreset.h)")]] CoresetBuilder
+MakeCoresetBuilder(SamplerKind kind, size_t k, int z, size_t j = 0);
 
 }  // namespace fastcoreset
 

@@ -2,17 +2,28 @@
 
 namespace fastcoreset {
 
-TrialStats RunTrials(int count, uint64_t base_seed,
-                     const std::function<double(Rng&)>& trial) {
+uint64_t TrialSeed(uint64_t base_seed, int t) {
+  return base_seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(t + 1);
+}
+
+TrialStats RunSeededTrials(int count, uint64_t base_seed,
+                           const std::function<double(uint64_t)>& trial) {
   TrialStats stats;
   for (int t = 0; t < count; ++t) {
-    Rng rng(base_seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(t + 1));
     Timer timer;
-    const double value = trial(rng);
+    const double value = trial(TrialSeed(base_seed, t));
     stats.seconds.Add(timer.Seconds());
     stats.value.Add(value);
   }
   return stats;
+}
+
+TrialStats RunTrials(int count, uint64_t base_seed,
+                     const std::function<double(Rng&)>& trial) {
+  return RunSeededTrials(count, base_seed, [&trial](uint64_t seed) {
+    Rng rng(seed);
+    return trial(rng);
+  });
 }
 
 }  // namespace fastcoreset

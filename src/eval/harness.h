@@ -18,10 +18,22 @@ struct TrialStats {
   RunningStat seconds;  ///< Wall-clock per trial.
 };
 
+/// Seed of the t-th trial (t in [0, count)) derived from `base_seed` —
+/// the derivation both trial runners share, exposed so spec-shaped
+/// callers (api::CoresetSpec::seed) can reproduce any single trial.
+uint64_t TrialSeed(uint64_t base_seed, int t);
+
 /// Runs `trial` `count` times with independent deterministic seeds derived
 /// from `base_seed`; `trial` returns the measured value.
 TrialStats RunTrials(int count, uint64_t base_seed,
                      const std::function<double(Rng&)>& trial);
+
+/// Seed-driven variant for request-shaped (facade) trials: the trial
+/// receives the derived seed itself — typically forwarded into a
+/// CoresetSpec — instead of a live Rng. RunTrials(c, s, f) is exactly
+/// RunSeededTrials(c, s, seed -> f(Rng(seed))).
+TrialStats RunSeededTrials(int count, uint64_t base_seed,
+                           const std::function<double(uint64_t)>& trial);
 
 }  // namespace fastcoreset
 

@@ -29,6 +29,7 @@ StreamingCompressor::StreamingCompressor(CoresetBuilder builder, size_t m,
 void StreamingCompressor::Push(const Matrix& batch,
                                const std::vector<double>& weights) {
   FC_CHECK_GT(batch.rows(), 0u);
+  builder_rows_ += batch.rows();
   Coreset block = builder_(batch, weights, m_, *rng_);
   // Builder indices are batch-relative; shift them to stream positions.
   for (size_t& idx : block.indices) {
@@ -51,7 +52,7 @@ void StreamingCompressor::Carry(Coreset coreset, size_t level) {
 }
 
 Coreset StreamingCompressor::MergeReduce(const Coreset& a,
-                                         const Coreset& b) const {
+                                         const Coreset& b) {
   Matrix merged_points = a.points;
   merged_points.AppendRows(b.points);
   std::vector<double> merged_weights = a.weights;
@@ -61,6 +62,8 @@ Coreset StreamingCompressor::MergeReduce(const Coreset& a,
   source_of_row.insert(source_of_row.end(), b.indices.begin(),
                        b.indices.end());
 
+  ++reduce_ops_;
+  builder_rows_ += merged_points.rows();
   Coreset reduced = builder_(merged_points, merged_weights, m_, *rng_);
   TranslateIndices(source_of_row, &reduced);
   return reduced;
@@ -80,6 +83,8 @@ Coreset StreamingCompressor::Finalize() const {
   }
   FC_CHECK_MSG(all_points.rows() > 0, "Finalize() before any Push()");
 
+  finalize_ops_ = 1;
+  finalize_rows_ = all_points.rows();
   Coreset final_coreset = builder_(all_points, all_weights, m_, *rng_);
   TranslateIndices(source_of_row, &final_coreset);
   return final_coreset;

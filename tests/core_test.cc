@@ -1,4 +1,9 @@
 // Tests for src/core: importance machinery and the five samplers.
+//
+// The SamplersTest suite deliberately exercises the deprecated enum-switch
+// shim (src/core/samplers.h) so its behavior stays pinned through the
+// deprecation window; tests/api_test.cc covers the replacing facade.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <cmath>
 #include <numeric>
@@ -379,6 +384,45 @@ TEST(FastCoresetTest, CenterCorrectionAddsSyntheticRows) {
   }
   EXPECT_GT(synthetic, 0u);
   EXPECT_LE(synthetic, 4u);
+}
+
+TEST(CoresetTest, TotalWeightSurvivesMixedMagnitudes) {
+  // Adversarial mix: one huge weight followed by many tiny ones. Naive
+  // left-to-right summation absorbs every +1.0 into 1e16 (ulp 2) and
+  // returns exactly 1e16; Kahan compensation keeps all of them.
+  Coreset coreset;
+  coreset.weights.assign(10000, 1.0);
+  coreset.weights.insert(coreset.weights.begin(), 1.0e16);
+  EXPECT_EQ(coreset.TotalWeight(), 1.0e16 + 10000.0);
+}
+
+TEST(CoresetTest, TotalWeightMatchesLongDoubleReference) {
+  // Alternating magnitudes, the shape synthetic center-correction rows
+  // produce: heavy representatives interleaved with light samples.
+  Rng rng(99);
+  Coreset coreset;
+  long double reference = 0.0L;
+  for (int i = 0; i < 4096; ++i) {
+    const double w =
+        (i % 2 == 0) ? rng.Uniform(1e11, 1e12) : rng.Uniform(1e-3, 1e-2);
+    coreset.weights.push_back(w);
+    reference += static_cast<long double>(w);
+  }
+  const double kahan = coreset.TotalWeight();
+  // Kahan stays within a couple of ulps of the extended-precision
+  // reference.
+  EXPECT_NEAR(kahan, static_cast<double>(reference),
+              std::abs(static_cast<double>(reference)) * 1e-15);
+  // The tiny terms must not have been dropped wholesale: each one sits
+  // below half an ulp of the ~1e15 running total (so naive summation
+  // discards every single one), yet their combined mass (~2048 * 5e-3 ≈
+  // 10) is far above that ulp (~0.125) — a correct total therefore
+  // differs from the heavy-terms-only sum.
+  long double heavy_only = 0.0L;
+  for (size_t i = 0; i < coreset.weights.size(); i += 2) {
+    heavy_only += static_cast<long double>(coreset.weights[i]);
+  }
+  EXPECT_NE(kahan, static_cast<double>(heavy_only));
 }
 
 TEST(SamplersTest, RegistryCoversAllAndNamesAreUnique) {

@@ -7,8 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
-#include "src/core/samplers.h"
 #include "src/data/csv_loader.h"
 #include "src/data/generators.h"
 #include "src/data/real_like.h"
@@ -202,8 +202,11 @@ TEST(DistortionTest, DistortionAtLeastOne) {
   Rng rng(14);
   Matrix points(500, 3);
   for (double& x : points.data()) x = rng.Uniform(0.0, 10.0);
-  const Coreset coreset =
-      BuildCoreset(SamplerKind::kUniform, points, {}, 5, 50, 2, rng);
+  api::CoresetSpec spec;
+  spec.method = "uniform";
+  spec.k = 5;
+  spec.m = 50;
+  const Coreset coreset = api::Build(spec, points, {}, rng)->coreset;
   DistortionOptions options;
   options.k = 5;
   EXPECT_GE(CoresetDistortion(points, {}, coreset, options, rng), 1.0);
@@ -235,8 +238,12 @@ TEST(DistortionTest, KMedianModeWorks) {
   Rng rng(16);
   Matrix points(400, 2);
   for (double& x : points.data()) x = rng.Uniform(0.0, 50.0);
-  const Coreset coreset =
-      BuildCoreset(SamplerKind::kSensitivity, points, {}, 4, 80, 1, rng);
+  api::CoresetSpec spec;
+  spec.method = "sensitivity";
+  spec.k = 4;
+  spec.m = 80;
+  spec.z = 1;
+  const Coreset coreset = api::Build(spec, points, {}, rng)->coreset;
   DistortionOptions options;
   options.k = 4;
   options.z = 1;

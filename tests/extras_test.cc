@@ -7,12 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/afkmc2.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_parallel.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/common/parallel.h"
-#include "src/core/samplers.h"
 #include "src/data/generators.h"
 #include "src/eval/quality_report.h"
 #include "src/geometry/distance.h"
@@ -231,8 +231,11 @@ TEST(ReservoirTest, ShortStreamKeepsEverything) {
 TEST(QualityReportTest, GoodCoresetPasses) {
   Rng rng(13);
   const Matrix points = Blobs(6, 300, 5, rng);
-  const Coreset coreset =
-      BuildCoreset(SamplerKind::kFastCoreset, points, {}, 6, 300, 2, rng);
+  api::CoresetSpec spec;
+  spec.method = "fast_coreset";
+  spec.k = 6;
+  spec.m = 300;
+  const Coreset coreset = api::Build(spec, points, {}, rng)->coreset;
   DistortionOptions options;
   options.k = 6;
   const QualityReport report =

@@ -7,11 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/lloyd.h"
 #include "src/core/fast_coreset.h"
-#include "src/core/samplers.h"
 #include "src/data/generators.h"
 #include "src/data/real_like.h"
 #include "src/eval/distortion.h"
@@ -112,9 +112,10 @@ TEST(DeterminismTest, StreamingPipelineDeterministic) {
   const Matrix points = GenerateGaussianMixture(6000, 5, 8, 0.5, data_rng);
   auto run = [&](uint64_t seed) {
     Rng rng(seed);
-    return StreamingCompress(points, {},
-                             MakeCoresetBuilder(SamplerKind::kSensitivity,
-                                                8, 2),
+    api::CoresetSpec spec;
+    spec.method = "sensitivity";
+    spec.k = 8;
+    return StreamingCompress(points, {}, api::MakeBuilder(spec).value(),
                              1024, 200, rng);
   };
   const Coreset a = run(5), b = run(5), c = run(6);
@@ -145,8 +146,11 @@ TEST(FullDepthQuadtreeTest, AllLeavesAtMaxDepth) {
 TEST(MultiProbeDistortionTest, AtLeastSingleProbeDistortion) {
   Rng rng(9);
   const Matrix points = GenerateGaussianMixture(8000, 8, 10, 1.0, rng);
-  const Coreset coreset =
-      BuildCoreset(SamplerKind::kFastCoreset, points, {}, 10, 400, 2, rng);
+  api::CoresetSpec spec;
+  spec.method = "fast_coreset";
+  spec.k = 10;
+  spec.m = 400;
+  const Coreset coreset = api::Build(spec, points, {}, rng)->coreset;
   DistortionOptions options;
   options.k = 10;
   Rng probe_rng_a(10), probe_rng_b(10);
@@ -209,16 +213,22 @@ TEST(WeightedEndToEndTest, PreWeightedInputFlowsThroughEverything) {
   double total_weight = 0.0;
   for (double w : weights) total_weight += w;
 
-  for (SamplerKind kind : AllSamplers()) {
-    Rng local(200 + static_cast<int>(kind));
-    const Coreset coreset =
-        BuildCoreset(kind, points, weights, 8, 300, 2, local);
+  const std::vector<std::string> spectrum = {
+      "uniform", "lightweight", "welterweight", "sensitivity",
+      "fast_coreset"};
+  for (size_t s = 0; s < spectrum.size(); ++s) {
+    api::CoresetSpec spec;
+    spec.method = spectrum[s];
+    spec.k = 8;
+    spec.m = 300;
+    Rng local(200 + s);
+    const Coreset coreset = api::Build(spec, points, weights, local)->coreset;
     EXPECT_NEAR(coreset.TotalWeight() / total_weight, 1.0, 0.25)
-        << SamplerName(kind);
+        << spec.method;
     DistortionOptions probe;
     probe.k = 8;
     EXPECT_LT(CoresetDistortion(points, weights, coreset, probe, local), 2.0)
-        << SamplerName(kind);
+        << spec.method;
   }
 }
 

@@ -14,12 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/fast_kmeans_plus_plus.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/tree_greedy.h"
 #include "src/core/group_sampling.h"
-#include "src/core/samplers.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 #include "src/geometry/distance.h"
@@ -37,35 +37,46 @@ Matrix BenignBlobs(size_t n, size_t d, size_t blobs, uint64_t seed) {
 // ---------------------------------------------------------------------
 // Sampler sweep: kind x z x m.
 
-using SamplerParam = std::tuple<SamplerKind, int, size_t>;
+using SamplerParam = std::tuple<const char*, int, size_t>;
+
+/// Spec for one sweep point; all sampler properties build through the
+/// facade, so the sweep also covers the registry dispatch path.
+api::CoresetSpec SweepSpec(const SamplerParam& param, size_t k) {
+  api::CoresetSpec spec;
+  spec.method = std::get<0>(param);
+  spec.k = k;
+  spec.m = std::get<2>(param);
+  spec.z = std::get<1>(param);
+  return spec;
+}
 
 class SamplerProperty : public ::testing::TestWithParam<SamplerParam> {};
 
 TEST_P(SamplerProperty, DistortionBoundedOnBenignData) {
-  const auto [kind, z, m] = GetParam();
   const Matrix points = BenignBlobs(8000, 10, 10, 1);
   Rng rng(2);
-  const Coreset coreset = BuildCoreset(kind, points, {}, 10, m, z, rng);
+  const Coreset coreset =
+      api::Build(SweepSpec(GetParam(), 10), points, {}, rng)->coreset;
   DistortionOptions probe;
   probe.k = 10;
-  probe.z = z;
+  probe.z = std::get<1>(GetParam());
   EXPECT_LT(CoresetDistortion(points, {}, coreset, probe, rng), 2.0);
 }
 
 TEST_P(SamplerProperty, WeightsPositiveAndTotalNearN) {
-  const auto [kind, z, m] = GetParam();
   const Matrix points = BenignBlobs(8000, 10, 10, 3);
   Rng rng(4);
-  const Coreset coreset = BuildCoreset(kind, points, {}, 10, m, z, rng);
+  const Coreset coreset =
+      api::Build(SweepSpec(GetParam(), 10), points, {}, rng)->coreset;
   for (double w : coreset.weights) EXPECT_GT(w, 0.0);
   EXPECT_NEAR(coreset.TotalWeight() / 8000.0, 1.0, 0.25);
 }
 
 TEST_P(SamplerProperty, IndicesValidAndPointsMatchSource) {
-  const auto [kind, z, m] = GetParam();
   const Matrix points = BenignBlobs(4000, 6, 8, 5);
   Rng rng(6);
-  const Coreset coreset = BuildCoreset(kind, points, {}, 8, m, z, rng);
+  const Coreset coreset =
+      api::Build(SweepSpec(GetParam(), 8), points, {}, rng)->coreset;
   ASSERT_EQ(coreset.indices.size(), coreset.size());
   ASSERT_EQ(coreset.weights.size(), coreset.size());
   for (size_t r = 0; r < coreset.size(); ++r) {
@@ -77,15 +88,13 @@ TEST_P(SamplerProperty, IndicesValidAndPointsMatchSource) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllSamplersObjectivesSizes, SamplerProperty,
-    ::testing::Combine(::testing::Values(SamplerKind::kUniform,
-                                         SamplerKind::kLightweight,
-                                         SamplerKind::kWelterweight,
-                                         SamplerKind::kSensitivity,
-                                         SamplerKind::kFastCoreset),
+    ::testing::Combine(::testing::Values("uniform", "lightweight",
+                                         "welterweight", "sensitivity",
+                                         "fast_coreset"),
                        ::testing::Values(1, 2),
                        ::testing::Values(size_t{200}, size_t{800})),
     [](const ::testing::TestParamInfo<SamplerParam>& info) {
-      return SamplerName(std::get<0>(info.param)) + "_z" +
+      return std::string(std::get<0>(info.param)) + "_z" +
              std::to_string(std::get<1>(info.param)) + "_m" +
              std::to_string(std::get<2>(info.param));
     });
@@ -251,7 +260,13 @@ TEST_P(MergeReduceProperty, IndicesGlobalAndWeightConserved) {
   }
   Rng rng(14);
   const Coreset coreset = StreamingCompress(
-      points, {}, MakeCoresetBuilder(SamplerKind::kSensitivity, 6, 2),
+      points, {},
+      [] {
+        api::CoresetSpec spec;
+        spec.method = "sensitivity";
+        spec.k = 6;
+        return api::MakeBuilder(spec).value();
+      }(),
       block, /*m=*/300, rng);
   for (size_t r = 0; r < coreset.size(); ++r) {
     if (coreset.indices[r] == Coreset::kSyntheticIndex) continue;

@@ -8,11 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/fast_kmeans_plus_plus.h"
 #include "src/clustering/kmeans_plus_plus.h"
 #include "src/clustering/lloyd.h"
 #include "src/common/fenwick_tree.h"
-#include "src/core/samplers.h"
 #include "src/data/coreset_io.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
@@ -24,15 +24,33 @@
 namespace fastcoreset {
 namespace {
 
+/// The five-method spectrum, built through the facade.
+const std::vector<std::string>& Spectrum() {
+  static const std::vector<std::string> methods = {
+      "uniform", "lightweight", "welterweight", "sensitivity",
+      "fast_coreset"};
+  return methods;
+}
+
+Coreset FacadeBuild(const std::string& method, const Matrix& points,
+                    size_t k, size_t m, Rng& rng) {
+  api::CoresetSpec spec;
+  spec.method = method;
+  spec.k = k;
+  spec.m = m;
+  return api::Build(spec, points, {}, rng)->coreset;
+}
+
 TEST(DegenerateShapeTest, SinglePointSingleDim) {
   Matrix points(1, 1);
   points.At(0, 0) = 3.0;
   Rng rng(1);
-  for (SamplerKind kind : AllSamplers()) {
-    Rng local(10 + static_cast<int>(kind));
-    const Coreset coreset = BuildCoreset(kind, points, {}, 1, 1, 2, local);
-    ASSERT_GE(coreset.size(), 1u) << SamplerName(kind);
-    EXPECT_NEAR(coreset.TotalWeight(), 1.0, 1e-9) << SamplerName(kind);
+  for (size_t i = 0; i < Spectrum().size(); ++i) {
+    const std::string& method = Spectrum()[i];
+    Rng local(10 + i);
+    const Coreset coreset = FacadeBuild(method, points, 1, 1, local);
+    ASSERT_GE(coreset.size(), 1u) << method;
+    EXPECT_NEAR(coreset.TotalWeight(), 1.0, 1e-9) << method;
   }
   const Clustering clustering = KMeansPlusPlus(points, {}, 1, 2, rng);
   EXPECT_EQ(clustering.centers.rows(), 1u);
@@ -43,10 +61,11 @@ TEST(DegenerateShapeTest, KEqualsOneEverywhere) {
   Rng rng(2);
   Matrix points(100, 3);
   for (double& x : points.data()) x = rng.Uniform(0.0, 10.0);
-  for (SamplerKind kind : AllSamplers()) {
-    Rng local(20 + static_cast<int>(kind));
-    const Coreset coreset = BuildCoreset(kind, points, {}, 1, 10, 2, local);
-    EXPECT_GT(coreset.size(), 0u) << SamplerName(kind);
+  for (size_t i = 0; i < Spectrum().size(); ++i) {
+    const std::string& method = Spectrum()[i];
+    Rng local(20 + i);
+    const Coreset coreset = FacadeBuild(method, points, 1, 10, local);
+    EXPECT_GT(coreset.size(), 0u) << method;
   }
 }
 
@@ -69,14 +88,15 @@ TEST(DuplicateHeavyTest, AllSamplersSurviveMassiveDuplication) {
   for (size_t i = 0; i < 4000; ++i) {
     points.At(i, 0) = static_cast<double>(i % 4) * 50.0;
   }
-  for (SamplerKind kind : AllSamplers()) {
-    Rng rng(30 + static_cast<int>(kind));
-    const Coreset coreset = BuildCoreset(kind, points, {}, 4, 100, 2, rng);
-    EXPECT_GT(coreset.size(), 0u) << SamplerName(kind);
+  for (size_t i = 0; i < Spectrum().size(); ++i) {
+    const std::string& method = Spectrum()[i];
+    Rng rng(30 + i);
+    const Coreset coreset = FacadeBuild(method, points, 4, 100, rng);
+    EXPECT_GT(coreset.size(), 0u) << method;
     DistortionOptions probe;
     probe.k = 4;
     EXPECT_LT(CoresetDistortion(points, {}, coreset, probe, rng), 1.6)
-        << SamplerName(kind);
+        << method;
   }
 }
 
@@ -154,8 +174,7 @@ TEST(CoresetIoTest, RoundTripPreservesPointsAndWeights) {
   Rng rng(8);
   Matrix points(300, 4);
   for (double& x : points.data()) x = rng.Uniform(-100.0, 100.0);
-  const Coreset original =
-      BuildCoreset(SamplerKind::kSensitivity, points, {}, 5, 60, 2, rng);
+  const Coreset original = FacadeBuild("sensitivity", points, 5, 60, rng);
   const std::string path = "/tmp/fc_coreset_io_test.csv";
   ASSERT_TRUE(SaveCoresetCsv(path, original));
   const auto loaded = LoadCoresetCsv(path);
@@ -176,7 +195,7 @@ TEST(CoresetIoTest, LoadedCoresetStillClusters) {
   Rng rng(9);
   const Matrix points = GenerateGaussianMixture(5000, 5, 8, 1.0, rng);
   const Coreset original =
-      BuildCoreset(SamplerKind::kFastCoreset, points, {}, 8, 300, 2, rng);
+      FacadeBuild("fast_coreset", points, 8, 300, rng);
   const std::string path = "/tmp/fc_coreset_io_test2.csv";
   ASSERT_TRUE(SaveCoresetCsv(path, original));
   const auto loaded = LoadCoresetCsv(path);
@@ -210,10 +229,9 @@ TEST(NoiseRobustnessTest, DistortionStableUnderPerturbation) {
   DistortionOptions probe;
   probe.k = 10;
   Rng rng_a(11), rng_b(11);
-  const Coreset coreset_a =
-      BuildCoreset(SamplerKind::kFastCoreset, base, {}, 10, 400, 2, rng_a);
+  const Coreset coreset_a = FacadeBuild("fast_coreset", base, 10, 400, rng_a);
   const Coreset coreset_b =
-      BuildCoreset(SamplerKind::kFastCoreset, shifted, {}, 10, 400, 2, rng_b);
+      FacadeBuild("fast_coreset", shifted, 10, 400, rng_b);
   Rng probe_a(12), probe_b(12);
   const double d_a = CoresetDistortion(base, {}, coreset_a, probe, probe_a);
   const double d_b =

@@ -5,9 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
 #include "src/clustering/kmeans_plus_plus.h"
-#include "src/core/samplers.h"
 #include "src/data/generators.h"
 #include "src/eval/distortion.h"
 #include "src/streaming/bico.h"
@@ -32,11 +32,19 @@ Matrix Blobs(size_t blobs, size_t per_blob, size_t d, Rng& rng,
   return points;
 }
 
+/// Facade builder for streaming composition tests.
+CoresetBuilder SpecBuilder(const std::string& method, size_t k) {
+  api::CoresetSpec spec;
+  spec.method = method;
+  spec.k = k;
+  return api::MakeBuilder(spec).value();
+}
+
 TEST(MergeReduceTest, LevelsFollowBinaryCounter) {
   Rng rng(1);
   const Matrix points = Blobs(2, 400, 2, rng);
   StreamingCompressor compressor(
-      MakeCoresetBuilder(SamplerKind::kUniform, 4, 2), /*m=*/50, &rng);
+      SpecBuilder("uniform", 4), /*m=*/50, &rng);
   size_t pushed = 0;
   for (size_t start = 0; start + 100 <= points.rows(); start += 100) {
     std::vector<size_t> rows(100);
@@ -54,7 +62,7 @@ TEST(MergeReduceTest, GlobalIndicesAreCorrect) {
   Matrix points(600, 1);
   for (size_t i = 0; i < 600; ++i) points.At(i, 0) = static_cast<double>(i);
   const Coreset coreset = StreamingCompress(
-      points, {}, MakeCoresetBuilder(SamplerKind::kUniform, 4, 2),
+      points, {}, SpecBuilder("uniform", 4),
       /*block_size=*/128, /*m=*/40, rng);
   for (size_t r = 0; r < coreset.size(); ++r) {
     ASSERT_NE(coreset.indices[r], Coreset::kSyntheticIndex);
@@ -71,7 +79,7 @@ TEST(MergeReduceTest, TotalWeightConcentratesAroundN) {
   for (int t = 0; t < trials; ++t) {
     Rng trial(100 + t);
     const Coreset coreset = StreamingCompress(
-        points, {}, MakeCoresetBuilder(SamplerKind::kSensitivity, 8, 2),
+        points, {}, SpecBuilder("sensitivity", 8),
         /*block_size=*/256, /*m=*/120, trial);
     total += coreset.TotalWeight();
   }
@@ -83,7 +91,7 @@ TEST(MergeReduceTest, StreamingCoresetHasLowDistortion) {
   Rng rng(4);
   const Matrix points = Blobs(6, 800, 4, rng);
   const Coreset coreset = StreamingCompress(
-      points, {}, MakeCoresetBuilder(SamplerKind::kSensitivity, 12, 2),
+      points, {}, SpecBuilder("sensitivity", 12),
       /*block_size=*/600, /*m=*/500, rng);
   DistortionOptions options;
   options.k = 12;
@@ -96,7 +104,7 @@ TEST(MergeReduceTest, SingleBlockStreamStillWorks) {
   Rng rng(5);
   const Matrix points = Blobs(2, 100, 2, rng);
   StreamingCompressor compressor(
-      MakeCoresetBuilder(SamplerKind::kUniform, 4, 2), 50, &rng);
+      SpecBuilder("uniform", 4), 50, &rng);
   compressor.Push(points);
   const Coreset coreset = compressor.Finalize();
   // Finalize re-reduces the single level-0 coreset; the weighted reduction
@@ -113,7 +121,7 @@ TEST(MergeReduceTest, WeightedBlocksFlowThrough) {
   for (size_t i = 0; i < 200; ++i) points.At(i, 0) = static_cast<double>(i);
   const std::vector<double> weights(200, 3.0);
   const Coreset coreset = StreamingCompress(
-      points, weights, MakeCoresetBuilder(SamplerKind::kUniform, 4, 2),
+      points, weights, SpecBuilder("uniform", 4),
       /*block_size=*/64, /*m=*/30, rng);
   EXPECT_NEAR(coreset.TotalWeight(), 600.0, 60.0);
 }
