@@ -1,0 +1,152 @@
+// Service-layer throughput bench: requests/sec through CoresetService for
+// cold builds (distinct seeds -> every request misses and builds) vs
+// cached builds (one request repeated -> every request hits), at 1 and 4
+// shards. Emits BENCH_service.json; the CI perf gate compares its "gate"
+// ratio (cached vs cold speedup — machine-relative, so a slower runner
+// cannot fail it) against bench/baselines/BENCH_service_baseline.json.
+//
+// Honours FC_RUNS (cold requests per cell; best-of is NOT used here —
+// throughput is an average over the batch), FC_SCALE (row multiplier) and
+// FC_K (cluster count).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/service/service.h"
+
+namespace fastcoreset {
+namespace {
+
+struct Cell {
+  size_t shards = 1;
+  double cold_rps = 0.0;    ///< Requests/sec, every request builds.
+  double cached_rps = 0.0;  ///< Requests/sec, every request hits.
+  double cold_seconds_per_request = 0.0;
+  double cached_seconds_per_request = 0.0;
+};
+
+service::BuildRequest RequestFor(size_t k, uint64_t seed, size_t shards) {
+  service::BuildRequest request;
+  request.dataset = "bench";
+  request.spec.method = "fast_coreset";
+  request.spec.k = k;
+  request.spec.seed = seed;
+  request.shards = shards;
+  return request;
+}
+
+Cell Measure(service::CoresetService& svc, size_t k, size_t shards,
+             int cold_requests, int cached_requests) {
+  Cell cell;
+  cell.shards = shards;
+
+  // Cold: distinct seeds are distinct cache keys, so every request pays a
+  // full sharded build. Start from a cleared cache so inserts/evictions
+  // are part of the measured path.
+  svc.ClearCache();
+  Timer timer;
+  for (int i = 0; i < cold_requests; ++i) {
+    const auto response =
+        svc.Build(RequestFor(k, /*seed=*/1000 + i, shards));
+    FC_CHECK_MSG(response.ok(), response.status().ToString().c_str());
+  }
+  cell.cold_seconds_per_request = timer.Seconds() / cold_requests;
+  cell.cold_rps = 1.0 / cell.cold_seconds_per_request;
+
+  // Cached: one warm-up miss, then the same request over and over.
+  const auto warm = svc.Build(RequestFor(k, /*seed=*/7, shards));
+  FC_CHECK_MSG(warm.ok(), warm.status().ToString().c_str());
+  timer.Reset();
+  for (int i = 0; i < cached_requests; ++i) {
+    const auto response = svc.Build(RequestFor(k, /*seed=*/7, shards));
+    FC_CHECK_MSG(response.ok(), response.status().ToString().c_str());
+    FC_CHECK_MSG(response->diagnostics.cache_status == "hit",
+                 "expected a cache hit");
+  }
+  cell.cached_seconds_per_request = timer.Seconds() / cached_requests;
+  cell.cached_rps = 1.0 / cell.cached_seconds_per_request;
+  return cell;
+}
+
+void WriteJson(size_t n, size_t d, size_t k, const Cell& one,
+               const Cell& four, const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"service\",\n"
+               "  \"dataset\": {\"n\": %zu, \"d\": %zu, \"k\": %zu},\n",
+               n, d, k);
+  std::fprintf(out,
+               "  \"shards1\": {\"cold_rps\": %.3f, \"cached_rps\": %.1f},\n",
+               one.cold_rps, one.cached_rps);
+  std::fprintf(out,
+               "  \"shards4\": {\"cold_rps\": %.3f, \"cached_rps\": %.1f},\n",
+               four.cold_rps, four.cached_rps);
+  // Machine-relative ratio for the CI gate: how much a cache hit saves
+  // over a cold build of the same request. A slower runner shifts both
+  // numerators and denominators together.
+  std::fprintf(out,
+               "  \"gate\": {\n"
+               "    \"service_cached_speedup\": %.3f\n"
+               "  }\n}\n",
+               one.cached_rps / one.cold_rps);
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace fastcoreset
+
+int main() {
+  using namespace fastcoreset;
+  const double scale = bench::Scale();
+  const size_t n =
+      std::max<size_t>(2000, static_cast<size_t>(20000 * scale));
+  const size_t d = 8;
+  const size_t k = std::min<size_t>(bench::K(), 50);
+  const int cold_requests = std::max(3, bench::Runs());
+  const int cached_requests = 200;
+
+  bench::Banner("Service bench — cached vs cold request throughput",
+                "a repeated request costs a cache lookup, not an O(nd) "
+                "build (merge-&-reduce sharding included)");
+
+  service::CoresetService svc({/*cache_capacity=*/64});
+  {
+    service::SyntheticSpec synthetic;
+    synthetic.generator = "gaussian_mixture";
+    synthetic.n = n;
+    synthetic.d = d;
+    synthetic.kappa = 32;
+    synthetic.gamma = 0.5;
+    synthetic.seed = 20240729;
+    const auto status = svc.datasets().RegisterSynthetic("bench", synthetic);
+    FC_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+
+  const Cell one = Measure(svc, k, /*shards=*/1, cold_requests,
+                           cached_requests);
+  const Cell four = Measure(svc, k, /*shards=*/4, cold_requests,
+                            cached_requests);
+
+  std::printf("n=%zu d=%zu k=%zu (m=%zu)\n", n, d, k, 40 * k);
+  std::printf("shards=1: cold %8.2f req/s (%.2f ms)   cached %10.0f req/s "
+              "(%.4f ms)   speedup %.0fx\n",
+              one.cold_rps, 1e3 * one.cold_seconds_per_request,
+              one.cached_rps, 1e3 * one.cached_seconds_per_request,
+              one.cached_rps / one.cold_rps);
+  std::printf("shards=4: cold %8.2f req/s (%.2f ms)   cached %10.0f req/s "
+              "(%.4f ms)   speedup %.0fx\n",
+              four.cold_rps, 1e3 * four.cold_seconds_per_request,
+              four.cached_rps, 1e3 * four.cached_seconds_per_request,
+              four.cached_rps / four.cold_rps);
+
+  WriteJson(n, d, k, one, four, "BENCH_service.json");
+  std::printf("\nwrote BENCH_service.json (cold=%d cached=%d requests)\n",
+              cold_requests, cached_requests);
+  return 0;
+}

@@ -27,11 +27,8 @@
 // Streaming composition (merge-&-reduce, reservoirs) is re-exported here:
 // wrap any spec into a CoresetBuilder with MakeBuilder() and feed a
 // StreamingCompressor, or let BuildStreaming() run the whole pipeline.
-//
-// The legacy free functions (src/core/samplers.h BuildCoreset /
-// MakeCoresetBuilder) are deprecated shims over the same internals and
-// will be removed after one release; at equal seeds this facade produces
-// bit-identical coresets (pinned by tests/api_test.cc).
+// For a long-lived request-driven front (named datasets, sharded builds,
+// an LRU build cache), see src/service/service.h.
 
 #ifndef FASTCORESET_API_FASTCORESET_H_
 #define FASTCORESET_API_FASTCORESET_H_

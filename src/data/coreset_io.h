@@ -12,7 +12,10 @@
 
 namespace fastcoreset {
 
-/// Writes `coreset` as CSV rows: d point columns followed by the weight.
+/// Writes `coreset` as CSV rows: d point columns followed by the weight,
+/// at full double precision — a save/load cycle reproduces points and
+/// weights bit-identically (mixed-magnitude weights included), so
+/// TotalWeight() and downstream costs are unchanged by persistence.
 /// Source indices are not persisted (they are session-local). Returns
 /// false on I/O failure.
 bool SaveCoresetCsv(const std::string& path, const Coreset& coreset);

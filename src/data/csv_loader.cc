@@ -42,11 +42,16 @@ std::optional<Matrix> LoadCsv(const std::string& path) {
 bool SaveCsv(const std::string& path, const Matrix& points) {
   std::ofstream out(path);
   if (!out) return false;
+  // %.17g: 17 significant digits round-trip every double exactly, so a
+  // save/load cycle is bit-identical (ostream's default 6 digits silently
+  // rounded coreset weights and coordinates).
+  char cell[40];
   for (size_t i = 0; i < points.rows(); ++i) {
     const auto row = points.Row(i);
     for (size_t j = 0; j < points.cols(); ++j) {
       if (j) out << ',';
-      out << row[j];
+      std::snprintf(cell, sizeof(cell), "%.17g", row[j]);
+      out << cell;
     }
     out << '\n';
   }

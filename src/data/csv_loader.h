@@ -15,7 +15,9 @@ namespace fastcoreset {
 /// I/O or parse errors (ragged rows, non-numeric cells).
 std::optional<Matrix> LoadCsv(const std::string& path);
 
-/// Writes `points` as comma-separated rows. Returns false on I/O error.
+/// Writes `points` as comma-separated rows at full double precision
+/// (%.17g), so LoadCsv(SaveCsv(x)) reproduces x bit-identically. Returns
+/// false on I/O error.
 bool SaveCsv(const std::string& path, const Matrix& points);
 
 }  // namespace fastcoreset

@@ -1,0 +1,78 @@
+#include "src/service/coreset_cache.h"
+
+#include <utility>
+
+namespace fastcoreset {
+namespace service {
+
+std::shared_ptr<const CachedBuild> CoresetCache::Lookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.recency);
+  return it->second.value;
+}
+
+void CoresetCache::Insert(std::shared_ptr<const CachedBuild> entry) {
+  FC_CHECK(entry != nullptr);
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(entry->key);
+  if (it != entries_.end()) {
+    // Replace in place (same key = same deterministic build, but a
+    // use_cache=false rebuild may re-insert).
+    it->second.value = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second.recency);
+    return;
+  }
+  const std::string key = entry->key;  // std::move(entry) below.
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+size_t CoresetCache::EvictDataset(uint64_t dataset_fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.value->dataset_fingerprint == dataset_fingerprint) {
+      lru_.erase(it->second.recency);
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += dropped;
+  return dropped;
+}
+
+void CoresetCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evictions_ += entries_.size();
+  entries_.clear();
+  lru_.clear();
+}
+
+CoresetCache::Stats CoresetCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.entries = entries_.size();
+  stats.capacity = capacity_;
+  return stats;
+}
+
+}  // namespace service
+}  // namespace fastcoreset

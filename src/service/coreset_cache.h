@@ -1,0 +1,90 @@
+// CoresetCache: LRU cache over completed coreset builds. Coreset requests
+// are deterministic functions of (dataset content, canonical spec, shard
+// count) — the perfect shape for caching: a repeated request under heavy
+// traffic costs a map lookup and a copy instead of an O(nd) build. Keys
+// are the service's composite strings ("ds=<fingerprint>;<spec key>;
+// shards=N"); values are immutable shared snapshots of the build, so a
+// hit can be handed out while another thread inserts or evicts.
+
+#ifndef FASTCORESET_SERVICE_CORESET_CACHE_H_
+#define FASTCORESET_SERVICE_CORESET_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/api/diagnostics.h"
+#include "src/service/shard_planner.h"
+
+namespace fastcoreset {
+namespace service {
+
+/// Immutable snapshot of one completed build, shared between the cache
+/// and any in-flight responses.
+struct CachedBuild {
+  std::string key;
+  uint64_t dataset_fingerprint = 0;
+  size_t shard_count = 1;
+  Coreset coreset;
+  /// The diagnostics of the build that populated the entry (what a hit
+  /// saved): per-shard breakdown, merge accounting, wall clock.
+  std::vector<ShardDiagnostics> shards;
+  bool has_merge = false;
+  api::BuildDiagnostics merge;
+  double build_seconds = 0.0;
+};
+
+/// Thread-safe LRU cache with hit/miss/eviction counters. Capacity is an
+/// entry count; capacity 0 disables insertion entirely (every lookup
+/// misses).
+class CoresetCache {
+ public:
+  explicit CoresetCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry and refreshes its recency, or nullptr. Counts one
+  /// hit or miss.
+  std::shared_ptr<const CachedBuild> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) the entry and evicts least-recently-used
+  /// entries beyond capacity. No-op at capacity 0.
+  void Insert(std::shared_ptr<const CachedBuild> entry);
+
+  /// Drops every entry built from the given dataset content. Returns the
+  /// number of entries dropped (counted as evictions).
+  size_t EvictDataset(uint64_t dataset_fingerprint);
+
+  /// Drops everything (counted as evictions).
+  void Clear();
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<const CachedBuild> value;
+    std::list<std::string>::iterator recency;  ///< Position in lru_.
+  };
+
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::list<std::string> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::string, Slot> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SERVICE_CORESET_CACHE_H_

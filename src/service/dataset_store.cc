@@ -1,0 +1,123 @@
+#include "src/service/dataset_store.h"
+
+#include <optional>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/data/csv_loader.h"
+#include "src/data/generators.h"
+#include "src/service/fingerprint.h"
+
+namespace fastcoreset {
+namespace service {
+
+api::FcStatus DatasetStore::RegisterMatrix(const std::string& name,
+                                           Matrix points,
+                                           const std::string& source) {
+  if (name.empty()) {
+    return api::FcStatus::InvalidArgument("dataset name must be non-empty");
+  }
+  if (points.rows() == 0 || points.cols() == 0) {
+    return api::FcStatus::InvalidArgument(
+        "dataset '" + name + "' has no points");
+  }
+  auto entry = std::make_shared<DatasetEntry>();
+  entry->name = name;
+  entry->source = source;
+  entry->fingerprint = FingerprintMatrix(points);
+  entry->points = std::move(points);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!entries_.emplace(name, std::move(entry)).second) {
+    return api::FcStatus::InvalidArgument(
+        "dataset '" + name + "' is already registered (Remove it first)");
+  }
+  return api::FcStatus::Ok();
+}
+
+api::FcStatus DatasetStore::RegisterCsv(const std::string& name,
+                                        const std::string& path) {
+  std::optional<Matrix> points = LoadCsv(path);
+  if (!points.has_value()) {
+    return api::FcStatus::InvalidArgument(
+        "could not load CSV '" + path + "' (missing file or malformed rows)");
+  }
+  return RegisterMatrix(name, std::move(*points), "csv:" + path);
+}
+
+api::FcStatus DatasetStore::RegisterSynthetic(const std::string& name,
+                                              const SyntheticSpec& spec) {
+  if (spec.n == 0) {
+    return api::FcStatus::InvalidArgument("synthetic n must be >= 1");
+  }
+  Rng rng(spec.seed);
+  Matrix points;
+  if (spec.generator == "gaussian_mixture") {
+    if (spec.d == 0 || spec.kappa == 0) {
+      return api::FcStatus::InvalidArgument(
+          "gaussian_mixture needs d >= 1 and kappa >= 1");
+    }
+    points = GenerateGaussianMixture(spec.n, spec.d, spec.kappa, spec.gamma,
+                                     rng);
+  } else if (spec.generator == "benchmark") {
+    if (spec.k < 4) {
+      return api::FcStatus::InvalidArgument("benchmark needs k >= 4");
+    }
+    points = GenerateBenchmark(spec.n, spec.k, rng);
+  } else if (spec.generator == "spread") {
+    if (spec.r == 0) {
+      return api::FcStatus::InvalidArgument("spread needs r >= 1");
+    }
+    points = GenerateSpreadDataset(spec.n, spec.r, rng);
+  } else if (spec.generator == "c_outlier") {
+    if (spec.d == 0 || spec.c >= spec.n) {
+      return api::FcStatus::InvalidArgument(
+          "c_outlier needs d >= 1 and c < n");
+    }
+    points = GenerateCOutlier(spec.n, spec.c, spec.d, spec.separation, rng);
+  } else {
+    return api::FcStatus::InvalidArgument(
+        "unknown synthetic generator '" + spec.generator +
+        "' (gaussian_mixture | benchmark | spread | c_outlier)");
+  }
+  return RegisterMatrix(name, std::move(points),
+                        "synthetic:" + spec.generator);
+}
+
+api::FcStatusOr<std::shared_ptr<const DatasetEntry>> DatasetStore::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [registered, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += registered;
+    }
+    return api::FcStatus::NotFound(
+        "no dataset named '" + name + "' (registered: " +
+        (known.empty() ? "<none>" : known) + ")");
+  }
+  return it->second;
+}
+
+bool DatasetStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.erase(name) > 0;
+}
+
+std::vector<std::string> DatasetStore::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+size_t DatasetStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace service
+}  // namespace fastcoreset

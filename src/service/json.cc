@@ -1,0 +1,342 @@
+#include "src/service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace fastcoreset {
+namespace service {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/// Cursor over the input with one-token-lookahead helpers. All errors are
+/// reported with the byte offset so a malformed request is debuggable from
+/// the response alone.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  api::FcStatusOr<JsonValue> Parse() {
+    api::FcStatusOr<JsonValue> value = ParseValue(0);
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  api::FcStatus Error(const std::string& message) const {
+    return api::FcStatus::InvalidArgument(
+        "json: " + message + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t length = 0;
+    while (literal[length] != '\0') ++length;
+    if (text_.compare(pos_, length, literal) != 0) return false;
+    pos_ += length;
+    return true;
+  }
+
+  api::FcStatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        api::FcStatusOr<std::string> text = ParseString();
+        if (!text.ok()) return text.status();
+        return JsonValue(std::move(text.value()));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  api::FcStatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      api::FcStatusOr<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      api::FcStatusOr<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      if (!members.emplace(std::move(key.value()), std::move(value.value()))
+               .second) {
+        return Error("duplicate object key");
+      }
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue(std::move(members));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  api::FcStatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue::Array elements;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(elements));
+    while (true) {
+      api::FcStatusOr<JsonValue> value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      elements.push_back(std::move(value.value()));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue(std::move(elements));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  api::FcStatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // combined — dataset names and paths are expected ASCII; a lone
+          // surrogate still round-trips as three bytes).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  bool ConsumeDigits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  api::FcStatusOr<JsonValue> ParseNumber() {
+    // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — strtod alone would also accept "+5", ".5", "5.", "01", "inf".
+    const size_t start = pos_;
+    Consume('-');
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;  // A leading zero must stand alone ("01" is not JSON).
+    } else if (!ConsumeDigits()) {
+      return Error("invalid value");
+    }
+    if (Consume('.') && !ConsumeDigits()) {
+      return Error("digits must follow a decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!ConsumeDigits()) return Error("digits must follow an exponent");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) {
+      return Error("number '" + token + "' overflows a double");
+    }
+    return JsonValue(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::bool_value() const {
+  FC_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  FC_CHECK(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  FC_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  FC_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::object() const {
+  FC_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+api::FcStatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+void AppendJsonString(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace service
+}  // namespace fastcoreset

@@ -1,0 +1,85 @@
+// Minimal JSON for the service protocol (tools/fc_serve speaks
+// newline-delimited JSON over stdin/stdout). The container ships no JSON
+// dependency, so this is a small self-contained value type + strict
+// recursive-descent parser + escaping helpers: objects, arrays, strings
+// (with \uXXXX), doubles, bools, null. Parse errors are recoverable
+// FcStatus values — a malformed request line must produce an error
+// response, never kill the server.
+
+#ifndef FASTCORESET_SERVICE_JSON_H_
+#define FASTCORESET_SERVICE_JSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/api/status.h"
+
+namespace fastcoreset {
+namespace service {
+
+/// One JSON value. Numbers are doubles (the protocol's integral fields are
+/// range-checked on extraction); object keys are kept sorted, which makes
+/// serialized output stable.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  explicit JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  explicit JsonValue(Array value)
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  explicit JsonValue(Object value)
+      : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error (the
+  /// protocol layer checks kind() first and reports type mismatches as
+  /// invalid_argument).
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const Array& array() const;
+  const Object& object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Strict whole-string parse: leading/trailing whitespace is allowed,
+/// trailing garbage is an error, nesting depth is capped (a request line
+/// must not be able to overflow the stack).
+api::FcStatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Appends `text` as a quoted JSON string with all required escapes.
+void AppendJsonString(std::string* out, const std::string& text);
+
+/// Shortest-round-trip rendering of a double (%.17g, with non-finite
+/// values — which JSON cannot carry — rendered as null).
+std::string JsonNumber(double value);
+
+}  // namespace service
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SERVICE_JSON_H_

@@ -1,0 +1,527 @@
+#include "src/service/protocol.h"
+
+#include <cmath>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/api/registry.h"
+#include "src/data/coreset_io.h"
+#include "src/service/fingerprint.h"
+
+namespace fastcoreset {
+namespace service {
+
+namespace {
+
+using api::FcStatus;
+using api::FcStatusOr;
+
+/// Incremental JSON-object response builder (keys are emitted in call
+/// order; values are pre-escaped by the typed appenders).
+class ObjectWriter {
+ public:
+  void String(const char* key, const std::string& value) {
+    Key(key);
+    AppendJsonString(&out_, value);
+  }
+  void Integer(const char* key, uint64_t value) {
+    Key(key);
+    out_ += std::to_string(value);
+  }
+  void Number(const char* key, double value) {
+    Key(key);
+    out_ += JsonNumber(value);
+  }
+  void Bool(const char* key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+  }
+  /// Appends an already-serialized JSON value (array/object).
+  void Raw(const char* key, const std::string& json) {
+    Key(key);
+    out_ += json;
+  }
+  std::string Finish() { return out_ + "}"; }
+
+ private:
+  void Key(const char* key) {
+    out_ += first_ ? "{" : ",";
+    first_ = false;
+    AppendJsonString(&out_, key);
+    out_ += ":";
+  }
+  std::string out_;
+  bool first_ = true;
+};
+
+FcStatus TypeError(const char* key, const char* expected) {
+  return FcStatus::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a " + expected);
+}
+
+/// Readers: leave *out untouched when the key is absent, error on a
+/// type/range mismatch. This keeps every protocol field optional with the
+/// struct's own default.
+FcStatus ReadString(const JsonValue& obj, const char* key, std::string* out) {
+  const JsonValue* value = obj.Find(key);
+  if (value == nullptr) return FcStatus::Ok();
+  if (!value->is_string()) return TypeError(key, "string");
+  *out = value->string_value();
+  return FcStatus::Ok();
+}
+
+FcStatus ReadBool(const JsonValue& obj, const char* key, bool* out) {
+  const JsonValue* value = obj.Find(key);
+  if (value == nullptr) return FcStatus::Ok();
+  if (!value->is_bool()) return TypeError(key, "boolean");
+  *out = value->bool_value();
+  return FcStatus::Ok();
+}
+
+FcStatus ReadDouble(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* value = obj.Find(key);
+  if (value == nullptr) return FcStatus::Ok();
+  if (!value->is_number()) return TypeError(key, "number");
+  *out = value->number_value();
+  return FcStatus::Ok();
+}
+
+/// Non-negative integer fields (counts, seeds). Doubles above 2^53 or
+/// with a fractional part are errors, not truncations.
+FcStatus ReadUnsigned(const JsonValue& obj, const char* key, uint64_t* out) {
+  const JsonValue* value = obj.Find(key);
+  if (value == nullptr) return FcStatus::Ok();
+  if (!value->is_number()) return TypeError(key, "number");
+  const double number = value->number_value();
+  if (number < 0.0 || number != std::floor(number) || number > 0x1p53) {
+    return FcStatus::InvalidArgument("field '" + std::string(key) +
+                                     "' must be a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(number);
+  return FcStatus::Ok();
+}
+
+FcStatus ReadSizeT(const JsonValue& obj, const char* key, size_t* out) {
+  uint64_t value = *out;
+  FcStatus status = ReadUnsigned(obj, key, &value);
+  if (!status.ok()) return status;
+  *out = static_cast<size_t>(value);
+  return FcStatus::Ok();
+}
+
+FcStatus ReadInt(const JsonValue& obj, const char* key, int* out) {
+  const JsonValue* value = obj.Find(key);
+  if (value == nullptr) return FcStatus::Ok();
+  if (!value->is_number()) return TypeError(key, "number");
+  const double number = value->number_value();
+  if (number != std::floor(number) || number < -1e9 || number > 1e9) {
+    return FcStatus::InvalidArgument("field '" + std::string(key) +
+                                     "' must be an integer");
+  }
+  *out = static_cast<int>(number);
+  return FcStatus::Ok();
+}
+
+/// Typo guard: every verb names its full field set; anything else is an
+/// error rather than a silently ignored knob.
+FcStatus CheckAllowedKeys(const JsonValue& obj,
+                          std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : obj.object()) {
+    bool known = false;
+    for (const char* candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return FcStatus::InvalidArgument("unknown field '" + key + "'");
+    }
+  }
+  return FcStatus::Ok();
+}
+
+/// Per-method options sub-object -> MethodOptions alternative.
+FcStatusOr<api::MethodOptions> OptionsFromJson(const std::string& canonical,
+                                               const JsonValue& options) {
+  if (!options.is_object()) {
+    return FcStatus::InvalidArgument("field 'options' must be an object");
+  }
+  if (canonical == "welterweight") {
+    FcStatus status = CheckAllowedKeys(options, {"j"});
+    if (!status.ok()) return status;
+    api::WelterweightOptions out;
+    status = ReadSizeT(options, "j", &out.j);
+    if (!status.ok()) return status;
+    return api::MethodOptions(out);
+  }
+  if (canonical == "fast_coreset") {
+    FcStatus status = CheckAllowedKeys(
+        options, {"use_jl", "jl_eps", "use_spread_reduction",
+                  "center_correction", "correction_eps", "seeder",
+                  "seeding_max_depth", "seeding_full_depth_tree",
+                  "seeding_rejection_sampling", "seeding_max_rejections"});
+    if (!status.ok()) return status;
+    api::FastOptions out;
+    if (!(status = ReadBool(options, "use_jl", &out.use_jl)).ok() ||
+        !(status = ReadDouble(options, "jl_eps", &out.jl_eps)).ok() ||
+        !(status = ReadBool(options, "use_spread_reduction",
+                            &out.use_spread_reduction))
+             .ok() ||
+        !(status = ReadBool(options, "center_correction",
+                            &out.center_correction))
+             .ok() ||
+        !(status = ReadDouble(options, "correction_eps",
+                              &out.correction_eps))
+             .ok() ||
+        !(status = ReadInt(options, "seeding_max_depth",
+                           &out.seeding_max_depth))
+             .ok() ||
+        !(status = ReadBool(options, "seeding_full_depth_tree",
+                            &out.seeding_full_depth_tree))
+             .ok() ||
+        !(status = ReadBool(options, "seeding_rejection_sampling",
+                            &out.seeding_rejection_sampling))
+             .ok() ||
+        !(status = ReadInt(options, "seeding_max_rejections",
+                           &out.seeding_max_rejections))
+             .ok()) {
+      return status;
+    }
+    std::string seeder;
+    status = ReadString(options, "seeder", &seeder);
+    if (!status.ok()) return status;
+    if (seeder == "tree_greedy") {
+      out.seeder = api::FastSeeder::kTreeGreedy;
+    } else if (!seeder.empty() && seeder != "fast_kmeans++") {
+      return FcStatus::InvalidArgument(
+          "seeder must be 'fast_kmeans++' or 'tree_greedy'");
+    }
+    return api::MethodOptions(out);
+  }
+  if (canonical == "group_sampling") {
+    FcStatus status = CheckAllowedKeys(options, {"eps"});
+    if (!status.ok()) return status;
+    api::GroupOptions out;
+    status = ReadDouble(options, "eps", &out.eps);
+    if (!status.ok()) return status;
+    return api::MethodOptions(out);
+  }
+  if (canonical == "bico") {
+    FcStatus status = CheckAllowedKeys(
+        options, {"max_features", "initial_threshold", "max_depth"});
+    if (!status.ok()) return status;
+    api::BicoOptions out;
+    if (!(status = ReadSizeT(options, "max_features", &out.max_features))
+             .ok() ||
+        !(status = ReadDouble(options, "initial_threshold",
+                              &out.initial_threshold))
+             .ok() ||
+        !(status = ReadInt(options, "max_depth", &out.max_depth)).ok()) {
+      return status;
+    }
+    return api::MethodOptions(out);
+  }
+  if (options.object().empty()) return api::MethodOptions();
+  return FcStatus::InvalidArgument("method '" + canonical +
+                                   "' takes no options");
+}
+
+FcStatusOr<Matrix> PointsFromJson(const JsonValue& rows) {
+  if (!rows.is_array() || rows.array().empty()) {
+    return FcStatus::InvalidArgument(
+        "field 'points' must be a non-empty array of rows");
+  }
+  const size_t n = rows.array().size();
+  size_t d = 0;
+  std::vector<double> data;
+  for (size_t r = 0; r < n; ++r) {
+    const JsonValue& row = rows.array()[r];
+    if (!row.is_array() || row.array().empty()) {
+      return FcStatus::InvalidArgument(
+          "points rows must be non-empty arrays of numbers");
+    }
+    if (r == 0) {
+      d = row.array().size();
+      data.reserve(n * d);
+    } else if (row.array().size() != d) {
+      return FcStatus::InvalidArgument("points rows have ragged lengths");
+    }
+    for (const JsonValue& cell : row.array()) {
+      if (!cell.is_number()) {
+        return FcStatus::InvalidArgument("points cells must be numbers");
+      }
+      data.push_back(cell.number_value());
+    }
+  }
+  return Matrix(n, d, std::move(data));
+}
+
+FcStatusOr<SyntheticSpec> SyntheticFromJson(const JsonValue& obj) {
+  if (!obj.is_object()) {
+    return FcStatus::InvalidArgument("field 'synthetic' must be an object");
+  }
+  FcStatus status = CheckAllowedKeys(
+      obj, {"generator", "n", "d", "kappa", "gamma", "k", "r", "c",
+            "separation", "seed"});
+  if (!status.ok()) return status;
+  SyntheticSpec spec;
+  if (!(status = ReadString(obj, "generator", &spec.generator)).ok() ||
+      !(status = ReadSizeT(obj, "n", &spec.n)).ok() ||
+      !(status = ReadSizeT(obj, "d", &spec.d)).ok() ||
+      !(status = ReadSizeT(obj, "kappa", &spec.kappa)).ok() ||
+      !(status = ReadDouble(obj, "gamma", &spec.gamma)).ok() ||
+      !(status = ReadSizeT(obj, "k", &spec.k)).ok() ||
+      !(status = ReadSizeT(obj, "r", &spec.r)).ok() ||
+      !(status = ReadSizeT(obj, "c", &spec.c)).ok() ||
+      !(status = ReadDouble(obj, "separation", &spec.separation)).ok() ||
+      !(status = ReadUnsigned(obj, "seed", &spec.seed)).ok()) {
+    return status;
+  }
+  return spec;
+}
+
+std::string HandleRegister(CoresetService& service, const JsonValue& request) {
+  FcStatus status = CheckAllowedKeys(
+      request, {"verb", "name", "csv", "points", "synthetic"});
+  if (!status.ok()) return ErrorResponse(status);
+  std::string name;
+  status = ReadString(request, "name", &name);
+  if (!status.ok()) return ErrorResponse(status);
+  if (name.empty()) {
+    return ErrorResponse(
+        FcStatus::InvalidArgument("register needs a non-empty 'name'"));
+  }
+
+  const JsonValue* csv = request.Find("csv");
+  const JsonValue* points = request.Find("points");
+  const JsonValue* synthetic = request.Find("synthetic");
+  const int sources = (csv != nullptr) + (points != nullptr) +
+                      (synthetic != nullptr);
+  if (sources != 1) {
+    return ErrorResponse(FcStatus::InvalidArgument(
+        "register needs exactly one of 'csv', 'points', 'synthetic'"));
+  }
+
+  if (csv != nullptr) {
+    if (!csv->is_string()) return ErrorResponse(TypeError("csv", "string"));
+    status = service.datasets().RegisterCsv(name, csv->string_value());
+  } else if (points != nullptr) {
+    FcStatusOr<Matrix> matrix = PointsFromJson(*points);
+    if (!matrix.ok()) return ErrorResponse(matrix.status());
+    status = service.datasets().RegisterMatrix(name,
+                                               std::move(matrix.value()));
+  } else {
+    FcStatusOr<SyntheticSpec> spec = SyntheticFromJson(*synthetic);
+    if (!spec.ok()) return ErrorResponse(spec.status());
+    status = service.datasets().RegisterSynthetic(name, spec.value());
+  }
+  if (!status.ok()) return ErrorResponse(status);
+
+  const std::shared_ptr<const DatasetEntry> entry =
+      service.datasets().Get(name).value();
+  ObjectWriter out;
+  out.Bool("ok", true);
+  out.String("verb", "register");
+  out.String("name", name);
+  out.Integer("rows", entry->points.rows());
+  out.Integer("dims", entry->points.cols());
+  out.String("fingerprint", FingerprintHex(entry->fingerprint));
+  return out.Finish();
+}
+
+std::string HandleBuild(CoresetService& service, const JsonValue& request) {
+  FcStatus status = CheckAllowedKeys(
+      request, {"verb", "dataset", "method", "k", "m", "z", "seed",
+                "options", "shards", "use_cache", "output"});
+  if (!status.ok()) return ErrorResponse(status);
+
+  BuildRequest build;
+  status = ReadString(request, "dataset", &build.dataset);
+  if (!status.ok()) return ErrorResponse(status);
+  if (build.dataset.empty()) {
+    return ErrorResponse(
+        FcStatus::InvalidArgument("build needs a 'dataset' name"));
+  }
+  FcStatusOr<api::CoresetSpec> spec = SpecFromJson(request);
+  if (!spec.ok()) return ErrorResponse(spec.status());
+  build.spec = std::move(spec.value());
+  if (!(status = ReadSizeT(request, "shards", &build.shards)).ok() ||
+      !(status = ReadBool(request, "use_cache", &build.use_cache)).ok()) {
+    return ErrorResponse(status);
+  }
+  std::string output;
+  status = ReadString(request, "output", &output);
+  if (!status.ok()) return ErrorResponse(status);
+
+  FcStatusOr<BuildResponse> response = service.Build(build);
+  if (!response.ok()) return ErrorResponse(response.status());
+  const Coreset& coreset = response->coreset;
+  const ServiceDiagnostics& diag = response->diagnostics;
+
+  if (!output.empty() && !SaveCoresetCsv(output, coreset)) {
+    return ErrorResponse(
+        FcStatus::Internal("could not write coreset to '" + output + "'"));
+  }
+
+  ObjectWriter out;
+  out.Bool("ok", true);
+  out.String("verb", "build");
+  out.String("dataset", build.dataset);
+  out.String("cache", diag.cache_status);
+  out.Integer("shards", diag.shard_count);
+  out.Integer("rows", coreset.size());
+  out.Integer("dims", coreset.points.cols());
+  out.Number("total_weight", coreset.TotalWeight());
+  out.String("coreset_fingerprint",
+             FingerprintHex(FingerprintCoreset(coreset)));
+  out.Integer("points_processed", diag.points_processed);
+  out.Integer("bytes_processed", diag.bytes_processed);
+  out.Number("build_seconds", diag.build_seconds);
+  out.Number("seconds", diag.total_seconds);
+  if (!diag.shards.empty()) {
+    std::string shard_seconds = "[";
+    for (size_t i = 0; i < diag.shards.size(); ++i) {
+      if (i > 0) shard_seconds += ",";
+      shard_seconds += JsonNumber(diag.shards[i].build.total_seconds);
+    }
+    out.Raw("shard_seconds", shard_seconds + "]");
+  }
+  if (diag.has_merge) {
+    out.Integer("merge_reduce_ops", diag.merge.stream_reduce_ops);
+    out.Number("merge_seconds", diag.merge.total_seconds);
+  }
+  if (!output.empty()) out.String("output", output);
+  return out.Finish();
+}
+
+std::string HandleStats(CoresetService& service, const JsonValue& request) {
+  FcStatus status = CheckAllowedKeys(request, {"verb"});
+  if (!status.ok()) return ErrorResponse(status);
+  const CoresetCache::Stats stats = service.CacheStats();
+
+  ObjectWriter cache;
+  cache.Integer("hits", stats.hits);
+  cache.Integer("misses", stats.misses);
+  cache.Integer("evictions", stats.evictions);
+  cache.Integer("entries", stats.entries);
+  cache.Integer("capacity", stats.capacity);
+
+  std::string datasets = "[";
+  bool first = true;
+  for (const std::string& name : service.datasets().Names()) {
+    const auto entry_or = service.datasets().Get(name);
+    // A name can vanish between Names() and Get() under concurrent
+    // removal; skip it rather than abort on .value().
+    if (!entry_or.ok()) continue;
+    const std::shared_ptr<const DatasetEntry>& entry = entry_or.value();
+    ObjectWriter row;
+    row.String("name", entry->name);
+    row.String("source", entry->source);
+    row.Integer("rows", entry->points.rows());
+    row.Integer("dims", entry->points.cols());
+    row.String("fingerprint", FingerprintHex(entry->fingerprint));
+    if (!first) datasets += ",";
+    first = false;
+    datasets += row.Finish();
+  }
+  datasets += "]";
+
+  ObjectWriter out;
+  out.Bool("ok", true);
+  out.String("verb", "stats");
+  out.Raw("cache", cache.Finish());
+  out.Raw("datasets", datasets);
+  return out.Finish();
+}
+
+std::string HandleEvict(CoresetService& service, const JsonValue& request) {
+  FcStatus status = CheckAllowedKeys(request, {"verb", "dataset", "all"});
+  if (!status.ok()) return ErrorResponse(status);
+  bool all = false;
+  status = ReadBool(request, "all", &all);
+  if (!status.ok()) return ErrorResponse(status);
+  std::string dataset;
+  status = ReadString(request, "dataset", &dataset);
+  if (!status.ok()) return ErrorResponse(status);
+
+  ObjectWriter out;
+  if (all ? !dataset.empty() : dataset.empty()) {
+    // Exactly one of the two forms, spelled out.
+    return ErrorResponse(FcStatus::InvalidArgument(
+        "evict needs either 'dataset' or 'all':true"));
+  }
+  if (all) {
+    service.ClearCache();
+    out.Bool("ok", true);
+    out.String("verb", "evict");
+    out.Bool("cleared", true);
+    return out.Finish();
+  }
+  FcStatusOr<size_t> evicted = service.EvictDataset(dataset);
+  if (!evicted.ok()) return ErrorResponse(evicted.status());
+  out.Bool("ok", true);
+  out.String("verb", "evict");
+  out.String("dataset", dataset);
+  out.Integer("evicted", evicted.value());
+  return out.Finish();
+}
+
+}  // namespace
+
+FcStatusOr<api::CoresetSpec> SpecFromJson(const JsonValue& request) {
+  api::CoresetSpec spec;
+  FcStatus status = ReadString(request, "method", &spec.method);
+  if (!status.ok()) return status;
+  if (!(status = ReadSizeT(request, "k", &spec.k)).ok() ||
+      !(status = ReadSizeT(request, "m", &spec.m)).ok() ||
+      !(status = ReadInt(request, "z", &spec.z)).ok() ||
+      !(status = ReadUnsigned(request, "seed", &spec.seed)).ok()) {
+    return status;
+  }
+  if (const JsonValue* options = request.Find("options")) {
+    FcStatusOr<const api::CoresetAlgorithm*> algo =
+        api::Registry::Instance().Get(spec.method);
+    if (!algo.ok()) return algo.status();
+    FcStatusOr<api::MethodOptions> parsed =
+        OptionsFromJson(std::string(algo.value()->Name()), *options);
+    if (!parsed.ok()) return parsed.status();
+    spec.options = std::move(parsed.value());
+  }
+  return spec;
+}
+
+std::string ErrorResponse(const api::FcStatus& status) {
+  ObjectWriter out;
+  out.Bool("ok", false);
+  out.String("code", api::FcErrorCodeName(status.code()));
+  out.String("message", status.message());
+  return out.Finish();
+}
+
+std::string HandleRequestLine(CoresetService& service,
+                              const std::string& line) {
+  FcStatusOr<JsonValue> request = ParseJson(line);
+  if (!request.ok()) return ErrorResponse(request.status());
+  if (!request.value().is_object()) {
+    return ErrorResponse(
+        FcStatus::InvalidArgument("request must be a JSON object"));
+  }
+  std::string verb;
+  FcStatus status = ReadString(request.value(), "verb", &verb);
+  if (!status.ok()) return ErrorResponse(status);
+
+  if (verb == "register") return HandleRegister(service, request.value());
+  if (verb == "build") return HandleBuild(service, request.value());
+  if (verb == "stats") return HandleStats(service, request.value());
+  if (verb == "evict") return HandleEvict(service, request.value());
+  return ErrorResponse(FcStatus::InvalidArgument(
+      "unknown verb '" + verb +
+      "' (register | build | stats | evict)"));
+}
+
+}  // namespace service
+}  // namespace fastcoreset

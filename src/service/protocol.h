@@ -1,0 +1,58 @@
+// The fc_serve wire protocol: newline-delimited JSON requests and
+// responses over stdin/stdout. One request object per line, dispatched on
+// its "verb":
+//
+//   {"verb":"register","name":"d","csv":"points.csv"}
+//   {"verb":"register","name":"g","synthetic":{"generator":
+//        "gaussian_mixture","n":5000,"d":8,"kappa":16,"seed":3}}
+//   {"verb":"register","name":"t","points":[[0,0],[1,1],[2,2]]}
+//   {"verb":"build","dataset":"d","method":"fast_coreset","k":10,
+//        "m":400,"seed":1,"shards":4,"options":{"use_jl":false}}
+//   {"verb":"stats"}
+//   {"verb":"evict","dataset":"d"}        (or {"verb":"evict","all":true})
+//
+// Every response is one JSON object line with an "ok" field; failures
+// carry the FcStatus taxonomy ({"ok":false,"code":"invalid_argument",
+// "message":...}) and never terminate the server. Build responses carry
+// the cache status, shard-aggregated accounting, and a coreset
+// fingerprint (bit-identity witness); pass "output":"path.csv" to also
+// persist the coreset via SaveCoresetCsv. Unknown fields are rejected —
+// a typoed knob must fail loudly, not silently fall back to a default.
+//
+// The marshalling lives in the library (not the tool) so tests drive the
+// exact production surface: HandleRequestLine is fc_serve's whole loop
+// body.
+
+#ifndef FASTCORESET_SERVICE_PROTOCOL_H_
+#define FASTCORESET_SERVICE_PROTOCOL_H_
+
+#include <string>
+
+#include "src/api/spec.h"
+#include "src/api/status.h"
+#include "src/service/json.h"
+#include "src/service/service.h"
+
+namespace fastcoreset {
+namespace service {
+
+/// Marshals the spec-shaped fields of a request object (method, k, m, z,
+/// seed, options) into a CoresetSpec. Absent fields keep their defaults;
+/// wrong types, non-integral counts, unknown option keys, and options for
+/// a method that takes none are invalid_argument.
+api::FcStatusOr<api::CoresetSpec> SpecFromJson(const JsonValue& request);
+
+/// Serializes a status as an error-response line (without trailing
+/// newline).
+std::string ErrorResponse(const api::FcStatus& status);
+
+/// Parses one request line, executes it against the service, and returns
+/// the response line (without trailing newline). Never throws or aborts
+/// on malformed input.
+std::string HandleRequestLine(CoresetService& service,
+                              const std::string& line);
+
+}  // namespace service
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SERVICE_PROTOCOL_H_

@@ -1,0 +1,150 @@
+#include "src/service/service.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/common/timer.h"
+#include "src/service/fingerprint.h"
+#include "src/service/spec_key.h"
+
+namespace fastcoreset {
+namespace service {
+
+namespace {
+
+void AppendLine(std::string* out, const std::string& key,
+                const std::string& value) {
+  out->append(key);
+  out->append("=");
+  out->append(value);
+  out->append("\n");
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ServiceDiagnostics::ToString() const {
+  std::string out;
+  AppendLine(&out, "dataset", dataset);
+  AppendLine(&out, "dataset_fingerprint", FingerprintHex(dataset_fingerprint));
+  AppendLine(&out, "cache", cache_status);
+  AppendLine(&out, "shards", std::to_string(shard_count));
+  for (const ShardDiagnostics& shard : shards) {
+    const std::string prefix = "shard." + std::to_string(shard.index);
+    AppendLine(&out, prefix + ".rows",
+               std::to_string(shard.row_begin) + ".." +
+                   std::to_string(shard.row_end));
+    AppendLine(&out, prefix + ".seed", std::to_string(shard.seed));
+    AppendLine(&out, prefix + ".seconds",
+               FormatSeconds(shard.build.total_seconds));
+  }
+  if (has_merge) {
+    AppendLine(&out, "merge.reduce_ops",
+               std::to_string(merge.stream_reduce_ops));
+    AppendLine(&out, "merge.levels", std::to_string(merge.stream_levels));
+    AppendLine(&out, "merge.points_processed",
+               std::to_string(merge.points_processed));
+    AppendLine(&out, "merge.seconds", FormatSeconds(merge.total_seconds));
+  }
+  AppendLine(&out, "points_processed", std::to_string(points_processed));
+  AppendLine(&out, "bytes_processed", std::to_string(bytes_processed));
+  AppendLine(&out, "build_seconds", FormatSeconds(build_seconds));
+  AppendLine(&out, "total_seconds", FormatSeconds(total_seconds));
+  return out;
+}
+
+api::FcStatusOr<BuildResponse> CoresetService::Build(
+    const BuildRequest& request) {
+  Timer timer;
+  if (request.shards == 0) {
+    return api::FcStatus::InvalidArgument("shards must be >= 1");
+  }
+  api::FcStatus status = api::ValidateSpec(request.spec);
+  if (!status.ok()) return status;
+
+  // The shared snapshot pins the dataset for the whole build even if a
+  // concurrent Remove() unbinds the name.
+  api::FcStatusOr<std::shared_ptr<const DatasetEntry>> dataset =
+      store_.Get(request.dataset);
+  if (!dataset.ok()) return dataset.status();
+  const Matrix& points = dataset.value()->points;
+  if (!request.spec.weights.empty() &&
+      request.spec.weights.size() != points.rows()) {
+    return api::FcStatus::InvalidArgument(
+        "spec.weights size (" + std::to_string(request.spec.weights.size()) +
+        ") does not match dataset '" + request.dataset + "' rows (" +
+        std::to_string(points.rows()) + ")");
+  }
+
+  const size_t shards = EffectiveShardCount(points.rows(), request.shards);
+  api::FcStatusOr<std::string> spec_key = CanonicalSpecKey(request.spec);
+  if (!spec_key.ok()) return spec_key.status();
+
+  ServiceDiagnostics diag;
+  diag.dataset = request.dataset;
+  diag.dataset_fingerprint = dataset.value()->fingerprint;
+  diag.cache_key = "ds=" + FingerprintHex(dataset.value()->fingerprint) +
+                   ";" + spec_key.value() + ";shards=" +
+                   std::to_string(shards);
+  diag.shard_count = shards;
+
+  const bool caching = request.use_cache && options_.cache_capacity > 0;
+  if (caching) {
+    if (std::shared_ptr<const CachedBuild> cached =
+            cache_.Lookup(diag.cache_key)) {
+      // Hit: hand back the stored coreset. shards stays empty and
+      // points_processed/build_seconds stay 0 — this request did no
+      // build work, and the diagnostics prove it.
+      diag.cache_status = "hit";
+      diag.total_seconds = timer.Seconds();
+      return BuildResponse{cached->coreset, std::move(diag)};
+    }
+    diag.cache_status = "miss";
+  } else {
+    diag.cache_status = "bypass";
+  }
+
+  Timer build_timer;
+  api::FcStatusOr<ShardedBuildResult> built =
+      BuildSharded(request.spec, points, shards);
+  if (!built.ok()) return built.status();
+  diag.build_seconds = build_timer.Seconds();
+  diag.shards = std::move(built->shards);
+  diag.has_merge = built->has_merge;
+  diag.merge = std::move(built->merge);
+  diag.points_processed = built->points_processed;
+  diag.bytes_processed = built->bytes_processed;
+
+  if (caching) {
+    auto entry = std::make_shared<CachedBuild>();
+    entry->key = diag.cache_key;
+    entry->dataset_fingerprint = diag.dataset_fingerprint;
+    entry->shard_count = shards;
+    entry->coreset = built->coreset;  // Copy: the response owns the other.
+    entry->shards = diag.shards;
+    entry->has_merge = diag.has_merge;
+    entry->merge = diag.merge;
+    entry->build_seconds = diag.build_seconds;
+    cache_.Insert(std::move(entry));
+  }
+
+  diag.total_seconds = timer.Seconds();
+  return BuildResponse{std::move(built->coreset), std::move(diag)};
+}
+
+api::FcStatusOr<size_t> CoresetService::EvictDataset(
+    const std::string& name) {
+  api::FcStatusOr<std::shared_ptr<const DatasetEntry>> dataset =
+      store_.Get(name);
+  if (!dataset.ok()) return dataset.status();
+  return cache_.EvictDataset(dataset.value()->fingerprint);
+}
+
+}  // namespace service
+}  // namespace fastcoreset

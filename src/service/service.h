@@ -1,0 +1,104 @@
+// CoresetService: the long-lived, request-driven front over the one-shot
+// api::Build. It composes the service-layer parts — DatasetStore (named
+// data + content fingerprints), ShardPlanner (deterministic sharded
+// merge-&-reduce builds), CoresetCache (LRU over completed builds) — into
+// one entry point: validate the request, resolve the dataset, consult the
+// cache, build on miss, and return the coreset with shard-aggregated
+// diagnostics that say exactly what the request cost (and what a cache
+// hit saved). tools/fc_serve.cc exposes this over newline-delimited JSON.
+
+#ifndef FASTCORESET_SERVICE_SERVICE_H_
+#define FASTCORESET_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/fastcoreset.h"
+#include "src/service/coreset_cache.h"
+#include "src/service/dataset_store.h"
+#include "src/service/shard_planner.h"
+
+namespace fastcoreset {
+namespace service {
+
+struct ServiceOptions {
+  /// LRU capacity in cached builds. 0 disables caching (every request
+  /// reports cache="bypass").
+  size_t cache_capacity = 32;
+};
+
+/// One build request: a registered dataset by name, a CoresetSpec, and
+/// the shard count. Requests are plain data — the JSON protocol marshals
+/// into this struct and nothing else.
+struct BuildRequest {
+  std::string dataset;
+  api::CoresetSpec spec;
+  size_t shards = 1;
+  /// false skips both cache lookup and insertion (cache="bypass") — for
+  /// measurements and cache-busting rebuilds.
+  bool use_cache = true;
+};
+
+/// What the service did for one request, aggregated across shards. On a
+/// cache hit `shards` is empty and points_processed/build_seconds are 0 —
+/// the proof that no rebuild happened.
+struct ServiceDiagnostics {
+  std::string dataset;
+  uint64_t dataset_fingerprint = 0;
+  std::string cache_key;     ///< Full composite key the cache used.
+  std::string cache_status;  ///< "hit" | "miss" | "bypass".
+  size_t shard_count = 1;    ///< Effective (clamped) shard count.
+
+  /// Per-shard build diagnostics (stage times included); empty on a hit.
+  std::vector<ShardDiagnostics> shards;
+  bool has_merge = false;
+  api::BuildDiagnostics merge;  ///< Merge-&-reduce accounting (shards > 1).
+
+  size_t points_processed = 0;  ///< Rows this request fed through builders.
+  size_t bytes_processed = 0;
+  double build_seconds = 0.0;  ///< Build work done by this request.
+  double total_seconds = 0.0;  ///< Request wall clock (lookup included).
+
+  /// Multi-line key=value report in the BuildDiagnostics style.
+  std::string ToString() const;
+};
+
+/// A request's product.
+struct BuildResponse {
+  Coreset coreset;
+  ServiceDiagnostics diagnostics;
+};
+
+class CoresetService {
+ public:
+  explicit CoresetService(ServiceOptions options = {})
+      : options_(options), cache_(options.cache_capacity) {}
+
+  /// Dataset registration/lookup surface (register/remove/list).
+  DatasetStore& datasets() { return store_; }
+  const DatasetStore& datasets() const { return store_; }
+
+  /// Serves one request. Same request = bit-identical coreset, whether it
+  /// came from the cache or a rebuild, at any FC_THREADS. All failures
+  /// (unknown dataset, invalid spec, zero shards) are non-ok statuses.
+  api::FcStatusOr<BuildResponse> Build(const BuildRequest& request);
+
+  CoresetCache::Stats CacheStats() const { return cache_.stats(); }
+
+  /// Drops cached builds of the named dataset's content; kNotFound when
+  /// the name is not registered.
+  api::FcStatusOr<size_t> EvictDataset(const std::string& name);
+
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  ServiceOptions options_;
+  DatasetStore store_;
+  CoresetCache cache_;
+};
+
+}  // namespace service
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SERVICE_SERVICE_H_

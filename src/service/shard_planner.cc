@@ -1,0 +1,184 @@
+#include "src/service/shard_planner.h"
+
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "src/api/fastcoreset.h"
+#include "src/common/timer.h"
+
+namespace fastcoreset {
+namespace service {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Returns the shard's rows as a dense matrix plus (when the request is
+/// weighted) the matching weight slice.
+Matrix SliceRows(const Matrix& points, const ShardRange& range) {
+  Matrix slice(range.rows(), points.cols());
+  for (size_t r = range.begin; r < range.end; ++r) {
+    slice.CopyRowFrom(points, r, r - range.begin);
+  }
+  return slice;
+}
+
+}  // namespace
+
+uint64_t DeriveBuildSeed(uint64_t base_seed, uint64_t domain, uint64_t index) {
+  return SplitMix64(base_seed ^ SplitMix64(domain ^ SplitMix64(index)));
+}
+
+size_t EffectiveShardCount(size_t rows, size_t requested) {
+  FC_CHECK_GT(requested, 0u);
+  if (rows == 0) return 1;
+  return requested < rows ? requested : rows;
+}
+
+std::vector<ShardRange> PlanShards(size_t rows, size_t requested) {
+  const size_t shards = EffectiveShardCount(rows, requested);
+  std::vector<ShardRange> plan(shards);
+  const size_t base = rows / shards;
+  const size_t remainder = rows % shards;
+  size_t begin = 0;
+  for (size_t i = 0; i < shards; ++i) {
+    const size_t size = base + (i < remainder ? 1 : 0);
+    plan[i] = {begin, begin + size};
+    begin += size;
+  }
+  return plan;
+}
+
+api::FcStatusOr<ShardedBuildResult> BuildSharded(const api::CoresetSpec& spec,
+                                                 const Matrix& points,
+                                                 size_t shard_count) {
+  if (shard_count == 0) {
+    return api::FcStatus::InvalidArgument("shard count must be >= 1");
+  }
+  if (points.rows() == 0 || points.cols() == 0) {
+    return api::FcStatus::InvalidArgument("input has no points");
+  }
+  if (!spec.weights.empty() && spec.weights.size() != points.rows()) {
+    return api::FcStatus::InvalidArgument(
+        "spec.weights size (" + std::to_string(spec.weights.size()) +
+        ") does not match dataset rows (" + std::to_string(points.rows()) +
+        ")");
+  }
+
+  const std::vector<ShardRange> plan = PlanShards(points.rows(), shard_count);
+  const size_t shards = plan.size();
+
+  ShardedBuildResult result;
+  result.shards.reserve(shards);
+  std::vector<Coreset> shard_coresets;
+  shard_coresets.reserve(shards);
+
+  // Per-shard builds, sequential in shard order (each build parallelizes
+  // internally over the persistent pool — running the outer loop serial is
+  // what keeps the result bit-identical at any FC_THREADS).
+  for (size_t i = 0; i < shards; ++i) {
+    api::CoresetSpec sub_spec = spec;
+    // With a single shard the request IS a plain one-shot build; derived
+    // seeds start mattering once there is more than one rng to keep apart.
+    sub_spec.seed = shards == 1
+                        ? spec.seed
+                        : DeriveBuildSeed(spec.seed, kShardSeedDomain, i);
+    if (!spec.weights.empty()) {
+      sub_spec.weights.assign(spec.weights.begin() + plan[i].begin,
+                              spec.weights.begin() + plan[i].end);
+    }
+    api::FcStatusOr<api::BuildResult> built =
+        api::Build(sub_spec, SliceRows(points, plan[i]));
+    if (!built.ok()) return built.status();
+    // Shard-local indices -> dataset rows.
+    for (size_t& index : built->coreset.indices) {
+      if (index != Coreset::kSyntheticIndex) index += plan[i].begin;
+    }
+    result.shards.push_back(
+        {i, plan[i].begin, plan[i].end, sub_spec.seed,
+         std::move(built->diagnostics)});
+    result.points_processed += plan[i].rows();
+    shard_coresets.push_back(std::move(built->coreset));
+  }
+
+  if (shards == 1) {
+    result.coreset = std::move(shard_coresets[0]);
+  } else {
+    // Merge phase: feed the shard coresets through the streaming
+    // merge-&-reduce compressor (coresets of coresets are coresets). The
+    // compressor's global stream positions index the concatenation of the
+    // pushed shard coresets; `stream_to_dataset` maps them back to
+    // original dataset rows.
+    api::CoresetSpec merge_spec = spec;
+    merge_spec.weights.clear();
+    merge_spec.seed = DeriveBuildSeed(spec.seed, kMergeSeedDomain, shards);
+    api::FcStatusOr<CoresetBuilder> builder = api::MakeBuilder(merge_spec);
+    if (!builder.ok()) return builder.status();
+
+    Timer merge_timer;
+    Rng merge_rng(merge_spec.seed);
+    StreamingCompressor compressor(builder.value(), spec.EffectiveM(),
+                                   &merge_rng);
+    std::vector<size_t> stream_to_dataset;
+    for (const Coreset& shard : shard_coresets) {
+      // Zero-weight rows carry no mass and some reducers (bico's CF tree)
+      // reject them; dropping them changes nothing the coreset represents.
+      std::vector<size_t> keep;
+      keep.reserve(shard.size());
+      for (size_t r = 0; r < shard.size(); ++r) {
+        if (shard.weights[r] > 0.0) keep.push_back(r);
+      }
+      if (keep.empty()) continue;
+      std::vector<double> weights;
+      weights.reserve(keep.size());
+      for (size_t r : keep) {
+        stream_to_dataset.push_back(shard.indices[r]);
+        weights.push_back(shard.weights[r]);
+      }
+      compressor.Push(shard.points.SelectRows(keep), weights);
+    }
+    if (stream_to_dataset.empty()) {
+      return api::FcStatus::Internal("all shard coresets were empty");
+    }
+    Coreset merged = compressor.Finalize();
+    for (size_t& index : merged.indices) {
+      index = index < stream_to_dataset.size() ? stream_to_dataset[index]
+                                               : Coreset::kSyntheticIndex;
+    }
+
+    result.has_merge = true;
+    result.merge.method = result.shards[0].build.method;
+    result.merge.seed = merge_spec.seed;
+    result.merge.input_rows = stream_to_dataset.size();
+    result.merge.input_dims = points.cols();
+    result.merge.k = spec.k;
+    result.merge.m_requested = spec.m;
+    result.merge.m_effective = spec.EffectiveM();
+    result.merge.z = spec.z;
+    result.merge.stream_blocks = compressor.BlocksConsumed();
+    result.merge.stream_reduce_ops = compressor.ReduceOps();
+    result.merge.stream_levels = compressor.OccupiedLevels();
+    result.merge.points_processed = compressor.BuilderRowsProcessed();
+    result.merge.bytes_processed =
+        result.merge.points_processed * points.cols() * sizeof(double);
+    result.merge.output_rows = merged.size();
+    result.merge.output_total_weight = merged.TotalWeight();
+    result.merge.total_seconds = merge_timer.Seconds();
+    result.points_processed += result.merge.points_processed;
+    result.coreset = std::move(merged);
+  }
+
+  result.bytes_processed =
+      result.points_processed * points.cols() * sizeof(double);
+  return result;
+}
+
+}  // namespace service
+}  // namespace fastcoreset

@@ -1,0 +1,91 @@
+// ShardPlanner: sharded coreset builds via merge-&-reduce composition.
+//
+// The paper's composability property — a coreset of a union of coresets is
+// a coreset of the union — is what makes sharded serving correct: the
+// dataset is split into contiguous row-range shards, each shard is
+// compressed independently (one api::Build per shard, on the persistent
+// thread pool), and the shard coresets are combined through the streaming
+// merge-&-reduce compressor (src/streaming/merge_reduce) into one final
+// size-m coreset whose indices still refer to the original dataset rows.
+//
+// Determinism contract: each shard's build seeds a fresh Rng with
+// DeriveBuildSeed(spec.seed, kShardSeedDomain, shard_index), and the merge
+// phase with its own derived seed — so a (seed, shard_count) pair fully
+// determines the result, bit-identically at any FC_THREADS (shards run
+// sequentially in shard order; each build parallelizes internally over the
+// pool, which preserves the library-wide thread-invariance contract).
+// Different shard counts are different (all valid) coresets.
+
+#ifndef FASTCORESET_SERVICE_SHARD_PLANNER_H_
+#define FASTCORESET_SERVICE_SHARD_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/api/diagnostics.h"
+#include "src/api/spec.h"
+#include "src/api/status.h"
+#include "src/geometry/matrix.h"
+
+namespace fastcoreset {
+namespace service {
+
+/// One contiguous row range [begin, end) of the dataset.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t rows() const { return end - begin; }
+};
+
+/// Seed-derivation domains (so a shard seed can never collide with the
+/// merge seed of the same request).
+inline constexpr uint64_t kShardSeedDomain = 0x5348415244ull;  // "SHARD"
+inline constexpr uint64_t kMergeSeedDomain = 0x4d45524745ull;  // "MERGE"
+
+/// SplitMix64-mixed child seed: deterministic, and well-spread even for
+/// adjacent base seeds / indices.
+uint64_t DeriveBuildSeed(uint64_t base_seed, uint64_t domain, uint64_t index);
+
+/// Shard count actually used for `rows`: `requested` clamped to the row
+/// count (a shard must own at least one row). Requires requested >= 1.
+size_t EffectiveShardCount(size_t rows, size_t requested);
+
+/// Near-equal contiguous partition of [0, rows) into
+/// EffectiveShardCount(rows, requested) ranges, in row order. The
+/// partition depends only on (rows, requested) — it is part of the cache
+/// identity of a sharded build.
+std::vector<ShardRange> PlanShards(size_t rows, size_t requested);
+
+/// What one shard's build did: its range, its derived seed, and the full
+/// per-build diagnostics (stage times included).
+struct ShardDiagnostics {
+  size_t index = 0;
+  size_t row_begin = 0;
+  size_t row_end = 0;
+  uint64_t seed = 0;
+  api::BuildDiagnostics build;
+};
+
+/// A sharded build's product.
+struct ShardedBuildResult {
+  Coreset coreset;  ///< Indices refer to the original dataset rows.
+  std::vector<ShardDiagnostics> shards;   ///< One entry per shard, in order.
+  bool has_merge = false;                 ///< True when shards > 1.
+  /// Merge-phase accounting (stream_* fields + wall clock) when has_merge.
+  api::BuildDiagnostics merge;
+  size_t points_processed = 0;  ///< Shard rows + merge re-reduction rows.
+  size_t bytes_processed = 0;   ///< points_processed * dims * sizeof(double).
+};
+
+/// Runs the full sharded pipeline: plan, per-shard api::Build with derived
+/// seeds, merge-&-reduce combine. spec.weights (when non-empty) must match
+/// points.rows() and is sliced per shard. All request-level failures come
+/// back as a status; nothing aborts.
+api::FcStatusOr<ShardedBuildResult> BuildSharded(const api::CoresetSpec& spec,
+                                                 const Matrix& points,
+                                                 size_t shard_count);
+
+}  // namespace service
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SERVICE_SHARD_PLANNER_H_

@@ -1,0 +1,30 @@
+// Canonical cache-key serialization of a CoresetSpec. Two specs that
+// describe the same build must map to the same key string, so the key
+// canonicalizes everything the spec leaves implicit: the method name is
+// resolved through the registry (alias "fast" == "fast_coreset"), m = 0
+// resolves to the 40k default, monostate options resolve to the method's
+// defaults (and defaulted knobs inside them — welterweight j = 0, bico
+// max_features = 0 — to their effective values), and input weights
+// collapse to a content fingerprint. Anything that changes the built
+// coreset must land in the key; anything that cannot must not.
+
+#ifndef FASTCORESET_SERVICE_SPEC_KEY_H_
+#define FASTCORESET_SERVICE_SPEC_KEY_H_
+
+#include <string>
+
+#include "src/api/spec.h"
+#include "src/api/status.h"
+
+namespace fastcoreset {
+namespace service {
+
+/// Serializes a *validated* spec to its canonical key. Fails with the
+/// registry's kNotFound when the method name is unknown (callers validate
+/// first, so in the service flow this never fires after validation).
+api::FcStatusOr<std::string> CanonicalSpecKey(const api::CoresetSpec& spec);
+
+}  // namespace service
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_SERVICE_SPEC_KEY_H_

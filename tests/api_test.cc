@@ -1,10 +1,6 @@
 // Tests for the public facade (src/api/fastcoreset.h): registry coverage,
 // spec validation and the recoverable-error model, seed determinism
-// (including thread invariance), per-method option round-trips, and
-// bit-identity with the deprecated enum-switch shim.
-
-// The shim-equivalence tests intentionally call the deprecated functions.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// (including thread invariance), and per-method option round-trips.
 
 #include <algorithm>
 #include <string>
@@ -15,7 +11,6 @@
 #include "src/api/fastcoreset.h"
 #include "src/common/parallel.h"
 #include "src/core/fast_coreset.h"
-#include "src/core/samplers.h"
 #include "src/core/welterweight_coreset.h"
 #include "src/data/generators.h"
 
@@ -292,41 +287,6 @@ TEST(SpecRoundTripTest, FastSpreadReductionReachesAlgorithmOne) {
   }
   EXPECT_TRUE(any_difference)
       << "use_spread_reduction did not change the build";
-}
-
-TEST(ShimEquivalenceTest, FacadeMatchesDeprecatedBuildCoreset) {
-  const Matrix points = TestMixture();
-  const uint64_t seed = 2024;
-  const struct {
-    SamplerKind kind;
-    const char* method;
-  } pairs[] = {
-      {SamplerKind::kUniform, "uniform"},
-      {SamplerKind::kLightweight, "lightweight"},
-      {SamplerKind::kWelterweight, "welterweight"},
-      {SamplerKind::kSensitivity, "sensitivity"},
-      {SamplerKind::kFastCoreset, "fast_coreset"},
-  };
-  for (const auto& pair : pairs) {
-    Rng shim_rng(seed);
-    const Coreset via_shim =
-        BuildCoreset(pair.kind, points, {}, /*k=*/4, /*m=*/60, 2, shim_rng);
-    const Coreset via_facade =
-        api::Build(SmallSpec(pair.method, seed), points)->coreset;
-    ExpectBitIdentical(via_shim, via_facade, pair.method);
-  }
-}
-
-TEST(ShimEquivalenceTest, BuilderAdapterMatchesDeprecatedOne) {
-  const Matrix points = TestMixture();
-  const CoresetBuilder legacy =
-      MakeCoresetBuilder(SamplerKind::kSensitivity, /*k=*/4, /*z=*/2);
-  const CoresetBuilder facade =
-      api::MakeBuilder(SmallSpec("sensitivity")).value();
-  Rng legacy_rng(5), facade_rng(5);
-  ExpectBitIdentical(legacy(points, {}, 50, legacy_rng),
-                     facade(points, {}, 50, facade_rng),
-                     "sensitivity builder adapter");
 }
 
 TEST(StreamingFacadeTest, BuildStreamingReportsComposition) {

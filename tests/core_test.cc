@@ -1,9 +1,5 @@
-// Tests for src/core: importance machinery and the five samplers.
-//
-// The SamplersTest suite deliberately exercises the deprecated enum-switch
-// shim (src/core/samplers.h) so its behavior stays pinned through the
-// deprecation window; tests/api_test.cc covers the replacing facade.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Tests for src/core: importance machinery and the five samplers
+// (tests/api_test.cc covers the facade that fronts them).
 
 #include <cmath>
 #include <numeric>
@@ -16,7 +12,6 @@
 #include "src/core/fast_coreset.h"
 #include "src/core/importance.h"
 #include "src/core/lightweight_coreset.h"
-#include "src/core/samplers.h"
 #include "src/core/sensitivity_sampling.h"
 #include "src/core/uniform_sampling.h"
 #include "src/core/welterweight_coreset.h"
@@ -423,44 +418,6 @@ TEST(CoresetTest, TotalWeightMatchesLongDoubleReference) {
     heavy_only += static_cast<long double>(coreset.weights[i]);
   }
   EXPECT_NE(kahan, static_cast<double>(heavy_only));
-}
-
-TEST(SamplersTest, RegistryCoversAllAndNamesAreUnique) {
-  const auto all = AllSamplers();
-  EXPECT_EQ(all.size(), 5u);
-  std::vector<std::string> names;
-  for (SamplerKind kind : all) names.push_back(SamplerName(kind));
-  std::sort(names.begin(), names.end());
-  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
-}
-
-TEST(SamplersTest, BuildCoresetDispatchesEveryKind) {
-  Rng rng(21);
-  const Matrix points = Blobs(4, 100, 3, rng);
-  for (SamplerKind kind : AllSamplers()) {
-    Rng local(100 + static_cast<int>(kind));
-    const Coreset coreset =
-        BuildCoreset(kind, points, {}, /*k=*/8, /*m=*/60, 2, local);
-    EXPECT_GT(coreset.size(), 0u) << SamplerName(kind);
-    EXPECT_NEAR(coreset.TotalWeight(), 400.0, 150.0) << SamplerName(kind);
-  }
-}
-
-TEST(SamplersTest, BuilderAdapterMatchesDirectCall) {
-  Rng rng_a(22), rng_b(22);
-  const Matrix points = Blobs(3, 80, 2, rng_a);
-  Rng data_rng(22);
-  const Matrix points_b = Blobs(3, 80, 2, rng_b);
-  const CoresetBuilder builder =
-      MakeCoresetBuilder(SamplerKind::kUniform, 8, 2);
-  Rng s1(1), s2(1);
-  const Coreset via_builder = builder(points, {}, 40, s1);
-  const Coreset direct =
-      BuildCoreset(SamplerKind::kUniform, points, {}, 8, 40, 2, s2);
-  ASSERT_EQ(via_builder.size(), direct.size());
-  for (size_t i = 0; i < direct.size(); ++i) {
-    EXPECT_EQ(via_builder.indices[i], direct.indices[i]);
-  }
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "src/api/fastcoreset.h"
 #include "src/clustering/cost.h"
+#include "src/data/coreset_io.h"
 #include "src/data/csv_loader.h"
 #include "src/data/generators.h"
 #include "src/data/real_like.h"
@@ -157,10 +158,44 @@ TEST(CsvTest, RoundTrip) {
   ASSERT_EQ(loaded->cols(), 3u);
   for (size_t i = 0; i < 7; ++i) {
     for (size_t j = 0; j < 3; ++j) {
-      EXPECT_NEAR(loaded->At(i, j), points.At(i, j), 1e-4);
+      // %.17g writes round-trip exactly, not merely approximately.
+      EXPECT_EQ(loaded->At(i, j), points.At(i, j));
     }
   }
   std::remove(path.c_str());
+}
+
+TEST(CoresetIoTest, RoundTripIsBitIdenticalForMixedMagnitudeWeights) {
+  // The adversarial weight profile coreset serialization must survive:
+  // heavy synthetic representatives (~1e12) interleaved with light
+  // sampled points (~1e-3), the shape center-correction rows produce.
+  // Before the %.17g fix, the default 6-digit CSV precision rounded
+  // every weight, shifting TotalWeight() by ~1e6 on this profile.
+  Rng rng(77);
+  Coreset coreset;
+  coreset.points = Matrix(64, 3);
+  for (double& x : coreset.points.data()) x = rng.Uniform(-1e6, 1e6);
+  coreset.indices.assign(64, Coreset::kSyntheticIndex);
+  for (int i = 0; i < 64; ++i) {
+    coreset.weights.push_back(i % 2 == 0 ? rng.Uniform(1e11, 1e12)
+                                         : rng.Uniform(1e-3, 1e-2));
+  }
+
+  const std::string path = "/tmp/fc_coreset_io_test.csv";
+  ASSERT_TRUE(SaveCoresetCsv(path, coreset));
+  const std::optional<Coreset> loaded = LoadCoresetCsv(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), coreset.size());
+  for (size_t i = 0; i < coreset.size(); ++i) {
+    EXPECT_EQ(loaded->weights[i], coreset.weights[i]) << "weight " << i;
+    for (size_t j = 0; j < coreset.points.cols(); ++j) {
+      EXPECT_EQ(loaded->points.At(i, j), coreset.points.At(i, j))
+          << "point " << i << "," << j;
+    }
+  }
+  // Bit-identical weights imply the Kahan total survives persistence.
+  EXPECT_EQ(loaded->TotalWeight(), coreset.TotalWeight());
 }
 
 TEST(CsvTest, RejectsMissingAndMalformedFiles) {

@@ -1,21 +1,24 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over bench JSON artifacts.
 
-Compares the "gate" object of a freshly produced bench JSON (e.g.
-BENCH_parallel.json) against a committed baseline. Gate metrics are
-machine-relative speedup ratios (higher is better), so a uniformly slower
-CI runner does not fail the build — only a regressed ratio does. A metric
-fails when
+Compares the "gate" object of freshly produced bench JSONs (e.g.
+BENCH_parallel.json, BENCH_service.json) against committed baselines.
+Gate metrics are machine-relative speedup ratios (higher is better), so a
+uniformly slower CI runner does not fail the build — only a regressed
+ratio does. A metric fails when
 
     current < baseline * (1 - tolerance)
 
 Usage:
-    check_bench_regression.py BASELINE CURRENT [--tolerance 0.25]
+    check_bench_regression.py BASELINE CURRENT [BASELINE2 CURRENT2 ...] \
+        [--tolerance 0.25]
 
-Exit status: 0 when every gate metric is within tolerance, 1 otherwise
-(also on malformed input). New metrics present only in the current run
-are reported but never fail; metrics present only in the baseline fail,
-so a bench refactor cannot silently drop a gated number.
+Files are consumed as baseline/current pairs, so one invocation gates
+every bench artifact of a CI run. Exit status: 0 when every gate metric
+of every pair is within tolerance, 1 otherwise (also on malformed input).
+New metrics present only in a current run are reported but never fail;
+metrics present only in a baseline fail, so a bench refactor cannot
+silently drop a gated number.
 """
 
 import argparse
@@ -37,21 +40,15 @@ def load_gate(path):
     return gate
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional regression (default 0.25)")
-    args = parser.parse_args()
-
-    baseline = load_gate(args.baseline)
-    current = load_gate(args.current)
+def check_pair(baseline_path, current_path, tolerance):
+    """Returns the list of failed metric names for one baseline/current
+    pair, printing a per-metric report."""
+    baseline = load_gate(baseline_path)
+    current = load_gate(current_path)
 
     failures = []
     width = max(len(name) for name in baseline | current)
-    print(f"perf gate: tolerance {args.tolerance:.0%}"
-          f" (fail below baseline * {1 - args.tolerance:.2f})")
+    print(f"perf gate: {current_path} vs {baseline_path}")
     for name, base_value in sorted(baseline.items()):
         if name not in current:
             failures.append(name)
@@ -59,7 +56,7 @@ def main():
                   f" (baseline {base_value:.3f})")
             continue
         value = current[name]
-        floor = base_value * (1.0 - args.tolerance)
+        floor = base_value * (1.0 - tolerance)
         ok = value >= floor
         status = "ok  " if ok else "FAIL"
         print(f"  {status} {name:<{width}} current {value:8.3f}"
@@ -69,6 +66,28 @@ def main():
     for name in sorted(set(current) - set(baseline)):
         print(f"  new  {name:<{width}} current {current[name]:8.3f}"
               f"  (no baseline; not gated)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+                        help="baseline/current JSON paths, in pairs")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    if len(args.files) % 2 != 0:
+        print("error: files must come in BASELINE CURRENT pairs",
+              file=sys.stderr)
+        return 1
+
+    print(f"tolerance {args.tolerance:.0%}"
+          f" (fail below baseline * {1 - args.tolerance:.2f})")
+    failures = []
+    for i in range(0, len(args.files), 2):
+        failures += check_pair(args.files[i], args.files[i + 1],
+                               args.tolerance)
 
     if failures:
         print(f"perf gate FAILED: {', '.join(failures)}", file=sys.stderr)

@@ -1,0 +1,60 @@
+// fc_serve: the coreset-build service over newline-delimited JSON on
+// stdin/stdout — register datasets (CSV, inline rows, synthetic
+// generators), issue sharded/cached build requests, inspect cache stats,
+// evict. One request line in, one response line out, until EOF; malformed
+// requests produce error-response lines and never terminate the server.
+// See src/service/protocol.h for the full request/response schema and the
+// README's "Service layer" section for a transcript.
+//
+//   fc_serve [--cache-capacity N]
+//
+// Example session:
+//   {"verb":"register","name":"d","csv":"points.csv"}
+//   {"verb":"build","dataset":"d","method":"fast_coreset","k":10,
+//    "seed":1,"shards":4}
+//   {"verb":"stats"}
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/service/protocol.h"
+#include "src/service/service.h"
+
+int main(int argc, char** argv) {
+  using namespace fastcoreset;
+
+  service::ServiceOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-capacity") == 0 && i + 1 < argc) {
+      const char* value = argv[++i];
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(value, &end, 10);
+      if (end == value || *end != '\0') {
+        // A typoed capacity must fail loudly, not silently become 0
+        // (which would disable caching entirely).
+        std::fprintf(stderr, "invalid --cache-capacity '%s'\n", value);
+        return 2;
+      }
+      options.cache_capacity = static_cast<size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: %s [--cache-capacity N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  service::CoresetService coreset_service(options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    // One response line per request line; flush so a driving process can
+    // read each response before sending the next request.
+    std::fputs(service::HandleRequestLine(coreset_service, line).c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}

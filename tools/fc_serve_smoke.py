@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for fc_serve (registered in ctest).
+
+Drives the binary over its stdin/stdout NDJSON protocol:
+register a CSV dataset, issue the same sharded build request twice, and
+assert the second response is a cache hit carrying a bit-identical
+coreset (equal coreset fingerprints), that an invalid request surfaces an
+error response without killing the server, and that stats reflect the
+traffic.
+
+Usage: fc_serve_smoke.py <fc_serve-binary> <input.csv>
+"""
+
+import json
+import subprocess
+import sys
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} <fc_serve-binary> <input.csv>",
+              file=sys.stderr)
+        return 2
+    serve, csv_path = sys.argv[1], sys.argv[2]
+
+    build = {"verb": "build", "dataset": "tiny", "method": "fast_coreset",
+             "k": 4, "m": 48, "z": 2, "seed": 7, "shards": 2,
+             "options": {"use_jl": False}}
+    requests = [
+        {"verb": "register", "name": "tiny", "csv": csv_path},
+        build,
+        build,
+        {"verb": "build", "dataset": "no_such_dataset", "k": 4},
+        {"verb": "build", "dataset": "tiny", "k": 4, "z": 3},
+        {"verb": "stats"},
+    ]
+    payload = "".join(json.dumps(r) + "\n" for r in requests)
+
+    proc = subprocess.run([serve], input=payload, capture_output=True,
+                          text=True, timeout=300)
+    if proc.returncode != 0:
+        print(f"fc_serve exited {proc.returncode}: {proc.stderr}",
+              file=sys.stderr)
+        return 1
+    lines = proc.stdout.splitlines()
+    if len(lines) != len(requests):
+        print(f"expected {len(requests)} response lines, got {len(lines)}:"
+              f"\n{proc.stdout}", file=sys.stderr)
+        return 1
+    responses = [json.loads(line) for line in lines]
+    register, first, second, unknown, invalid, stats = responses
+
+    failures = []
+
+    def check(condition, message):
+        if not condition:
+            failures.append(message)
+
+    check(register.get("ok") and register.get("rows", 0) > 0,
+          f"register failed: {register}")
+    check(first.get("ok"), f"first build failed: {first}")
+    check(first.get("cache") == "miss",
+          f"first build should miss the cache: {first}")
+    check(first.get("shards") == 2, f"expected 2 shards: {first}")
+    check(second.get("ok"), f"second build failed: {second}")
+    check(second.get("cache") == "hit",
+          f"second build should hit the cache: {second}")
+    check(second.get("points_processed") == 0,
+          f"a cache hit must not rebuild: {second}")
+    check(first.get("coreset_fingerprint")
+          == second.get("coreset_fingerprint"),
+          "cached coreset is not bit-identical: "
+          f"{first.get('coreset_fingerprint')} vs "
+          f"{second.get('coreset_fingerprint')}")
+    check(not unknown.get("ok") and unknown.get("code") == "not_found",
+          f"unknown dataset should be not_found: {unknown}")
+    check(not invalid.get("ok") and invalid.get("code") == "invalid_argument",
+          f"z=3 should be invalid_argument: {invalid}")
+    cache = stats.get("cache", {})
+    check(stats.get("ok") and cache.get("hits") == 1
+          and cache.get("misses") == 1 and cache.get("entries") == 1,
+          f"stats disagree with the traffic: {stats}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("fc_serve smoke passed: register + build x2 (miss then "
+          "bit-identical hit) + error responses + stats")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
