@@ -29,7 +29,7 @@ Registry& Registry::Instance() {
 
 void Registry::Register(const std::string& name, Factory factory,
                         const std::vector<std::string>& aliases) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   FC_CHECK_MSG(!name.empty(), "registry name is empty");
   FC_CHECK_MSG(entries_.find(name) == entries_.end(),
                "duplicate registry name");
@@ -59,7 +59,7 @@ const Registry::Entry* Registry::Find(const std::string& name) const {
 
 FcStatusOr<const CoresetAlgorithm*> Registry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const Entry* entry = Find(name);
   if (entry == nullptr) {
     std::string known;
@@ -76,12 +76,12 @@ FcStatusOr<const CoresetAlgorithm*> Registry::Get(
 }
 
 bool Registry::Contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return Find(name) != nullptr;
 }
 
 std::vector<std::string> Registry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   for (const auto& [key, entry] : entries_) {
     if (!entry.is_alias) names.push_back(key);

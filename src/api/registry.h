@@ -12,12 +12,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/api/algorithm.h"
 #include "src/api/status.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace fastcoreset {
 namespace api {
@@ -62,10 +63,10 @@ class Registry {
     std::string canonical;  ///< Self for canonical entries.
   };
 
-  const Entry* Find(const std::string& name) const;
+  const Entry* Find(const std::string& name) const FC_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ FC_GUARDED_BY(mutex_);
 };
 
 /// Static-initialization helper: declaring a namespace-scope

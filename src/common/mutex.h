@@ -1,0 +1,89 @@
+// Capability-annotated mutex primitives. std::mutex carries no
+// thread-safety attributes under libstdc++, so clang's -Wthread-safety
+// cannot see std::lock_guard acquisitions; these thin wrappers are the
+// annotated equivalents every mutex-guarded class in the tree uses:
+//
+//   Mutex      — std::mutex as an FC_CAPABILITY (Lock/Unlock/TryLock).
+//   MutexLock  — std::lock_guard as an FC_SCOPED_CAPABILITY.
+//   CondVar    — std::condition_variable over a Mutex; Wait() FC_REQUIRES
+//                the mutex, so waiting without it is a compile error.
+//
+// All three compile to exactly the std:: operation they wrap (the
+// annotations are attributes, not code), so there is no runtime cost over
+// the types they replace.
+
+#ifndef FASTCORESET_COMMON_MUTEX_H_
+#define FASTCORESET_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace fastcoreset {
+
+/// std::mutex with capability annotations. Prefer MutexLock over manual
+/// Lock/Unlock pairs; TryLock is for opportunistic paths that fall back
+/// to lock-free work (see ThreadPool::Run).
+class FC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FC_ACQUIRE() { mutex_.lock(); }
+  void Unlock() FC_RELEASE() { mutex_.unlock(); }
+  bool TryLock() FC_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII lock over a Mutex (std::lock_guard shape): acquires in the
+/// constructor, releases in the destructor.
+class FC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FC_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() FC_RELEASE() { mutex_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex. Wait() takes the held mutex
+/// explicitly — the analysis then enforces the invariant that predicates
+/// are re-checked under the lock (callers loop: `while (!pred())
+/// cv.Wait(mutex);`).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex`, waits, and reacquires it before
+  /// returning. Spurious wakeups are possible, as with std::
+  /// condition_variable.
+  void Wait(Mutex& mutex) FC_REQUIRES(mutex) {
+    // Adopt the already-held std::mutex for the wait, then release the
+    // unique_lock's ownership claim so the Mutex stays held (as the
+    // caller's annotations say it is) when this returns.
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_COMMON_MUTEX_H_

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 
 #include "src/common/env.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace fastcoreset {
 
@@ -102,12 +102,20 @@ class ThreadPool {
     // not overwrite task_ (its chunks would silently run undistributed).
     // A second application thread dispatching mid-flight just runs its
     // own chunks inline — correct, serial, and contention-free.
-    std::unique_lock<std::mutex> dispatch_lock(dispatch_mutex_,
-                                               std::try_to_lock);
-    if (!dispatch_lock.owns_lock()) {
+    if (!dispatch_mutex_.TryLock()) {
       RunSerial(n, plan, body);
       return;
     }
+    Dispatch(n, plan, executors, body);
+    dispatch_mutex_.Unlock();
+  }
+
+ private:
+  // The locked half of Run: publishes one Task, executes as executor 0,
+  // and waits for completion.
+  void Dispatch(size_t n, const ChunkPlan& plan, size_t executors,
+                const std::function<void(size_t, size_t, size_t)>& body)
+      FC_REQUIRES(dispatch_mutex_) {
     Task task;
     task.body = &body;
     task.n = n;
@@ -128,38 +136,39 @@ class ThreadPool {
     }
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       EnsureWorkersLocked(executors - 1);
       task_ = &task;
       ++epoch_;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
 
     Execute(task, /*home_queue=*/0);
 
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&task] {
-      return task.remaining.load(std::memory_order_acquire) == 0 &&
-             task.active.load(std::memory_order_acquire) == 0;
-    });
+    MutexLock lock(mutex_);
+    while (!(task.remaining.load(std::memory_order_acquire) == 0 &&
+             task.active.load(std::memory_order_acquire) == 0)) {
+      done_cv_.Wait(mutex_);
+    }
     task_ = nullptr;
   }
 
+ public:
   void Shutdown() {
     std::vector<std::thread> workers;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stopping_ = true;
       workers.swap(workers_);
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& worker : workers) worker.join();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = false;  // Allow lazy re-initialization.
   }
 
   size_t WorkerCount() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return workers_.size();
   }
 
@@ -183,7 +192,7 @@ class ThreadPool {
     std::atomic<size_t> active{0};     // Executors currently inside Execute.
   };
 
-  void EnsureWorkersLocked(size_t target) {
+  void EnsureWorkersLocked(size_t target) FC_REQUIRES(mutex_) {
     target = std::min(target, kMaxEnvThreads - 1);
     while (workers_.size() < target) {
       workers_.emplace_back([this] { WorkerLoop(); });
@@ -199,10 +208,10 @@ class ThreadPool {
     for (;;) {
       Task* task = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] {
-          return stopping_ || (epoch_ != seen_epoch && task_ != nullptr);
-        });
+        MutexLock lock(mutex_);
+        while (!(stopping_ || (epoch_ != seen_epoch && task_ != nullptr))) {
+          work_cv_.Wait(mutex_);
+        }
         if (stopping_) return;
         seen_epoch = epoch_;
         task = task_;
@@ -259,20 +268,20 @@ class ThreadPool {
     // load above raced with another executor retiring the final chunk.
     // Without the prev_active clause that race loses the only wakeup.
     if (chunks_done || prev_active == 1) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      done_cv_.notify_all();
+      MutexLock lock(mutex_);
+      done_cv_.NotifyAll();
     }
   }
 
-  std::mutex dispatch_mutex_;  // Held by the owning dispatcher for a Run.
-  std::mutex mutex_;
-  std::condition_variable work_cv_;  // Workers park here between tasks.
-  std::condition_variable done_cv_;  // Dispatcher waits for completion.
-  std::vector<std::thread> workers_;
-  Task* task_ = nullptr;
-  uint64_t epoch_ = 0;
-  uint64_t next_home_queue_ = 0;
-  bool stopping_ = false;
+  Mutex dispatch_mutex_;  // Held by the owning dispatcher for a Run.
+  Mutex mutex_;
+  CondVar work_cv_;  // Workers park here between tasks.
+  CondVar done_cv_;  // Dispatcher waits for completion.
+  std::vector<std::thread> workers_ FC_GUARDED_BY(mutex_);
+  Task* task_ FC_GUARDED_BY(mutex_) = nullptr;
+  uint64_t epoch_ FC_GUARDED_BY(mutex_) = 0;
+  uint64_t next_home_queue_ FC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ FC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace

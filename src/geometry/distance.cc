@@ -90,8 +90,16 @@ inline double DotUnrolled(const double* a, const double* b, size_t d) {
 // so determinism at fixed hardware is unaffected (FMA contraction does
 // round differently across *machines* — bit-reproducibility was only ever
 // promised per binary per host).
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_ADDRESS__)
+//
+// The ifunc resolver runs before sanitizer runtimes initialize and
+// segfaults at load under TSan, so multi-versioning is compiled out when
+// a sanitizer is active (__SANITIZE_*__) or when the build asks for the
+// dispatch-free path explicitly (-DFC_DISABLE_TARGET_CLONES, set by the
+// FC_DISABLE_TARGET_CLONES CMake option / the tsan preset). The function
+// body is identical either way — only the per-ISA cloning is skipped.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) &&   \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) &&   \
+    !defined(FC_DISABLE_TARGET_CLONES)
 #define FC_TARGET_CLONES \
   __attribute__((target_clones("default", "arch=x86-64-v3")))
 #else

@@ -7,7 +7,7 @@ namespace service {
 
 std::shared_ptr<const CachedBuild> CoresetCache::Lookup(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -21,7 +21,7 @@ std::shared_ptr<const CachedBuild> CoresetCache::Lookup(
 void CoresetCache::Insert(std::shared_ptr<const CachedBuild> entry) {
   FC_CHECK(entry != nullptr);
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(entry->key);
   if (it != entries_.end()) {
     // Replace in place (same key = same deterministic build, but a
@@ -41,7 +41,7 @@ void CoresetCache::Insert(std::shared_ptr<const CachedBuild> entry) {
 }
 
 size_t CoresetCache::EvictDataset(uint64_t dataset_fingerprint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t dropped = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.value->dataset_fingerprint == dataset_fingerprint) {
@@ -57,14 +57,14 @@ size_t CoresetCache::EvictDataset(uint64_t dataset_fingerprint) {
 }
 
 void CoresetCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   evictions_ += entries_.size();
   entries_.clear();
   lru_.clear();
 }
 
 CoresetCache::Stats CoresetCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;

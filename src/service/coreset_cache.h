@@ -12,12 +12,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/api/diagnostics.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/service/shard_planner.h"
 
 namespace fastcoreset {
@@ -75,13 +76,14 @@ class CoresetCache {
     std::list<std::string>::iterator recency;  ///< Position in lru_.
   };
 
-  mutable std::mutex mutex_;
-  size_t capacity_;
-  std::list<std::string> lru_;  ///< Front = most recently used.
-  std::unordered_map<std::string, Slot> entries_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t evictions_ = 0;
+  mutable Mutex mutex_;
+  const size_t capacity_;  ///< Immutable after construction: lock-free reads.
+  /// Front = most recently used.
+  std::list<std::string> lru_ FC_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Slot> entries_ FC_GUARDED_BY(mutex_);
+  size_t hits_ FC_GUARDED_BY(mutex_) = 0;
+  size_t misses_ FC_GUARDED_BY(mutex_) = 0;
+  size_t evictions_ FC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace service

@@ -27,7 +27,7 @@ api::FcStatus DatasetStore::RegisterMatrix(const std::string& name,
   entry->fingerprint = FingerprintMatrix(points);
   entry->points = std::move(points);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!entries_.emplace(name, std::move(entry)).second) {
     return api::FcStatus::InvalidArgument(
         "dataset '" + name + "' is already registered (Remove it first)");
@@ -86,7 +86,7 @@ api::FcStatus DatasetStore::RegisterSynthetic(const std::string& name,
 
 api::FcStatusOr<std::shared_ptr<const DatasetEntry>> DatasetStore::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     std::string known;
@@ -102,12 +102,12 @@ api::FcStatusOr<std::shared_ptr<const DatasetEntry>> DatasetStore::Get(
 }
 
 bool DatasetStore::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.erase(name) > 0;
 }
 
 std::vector<std::string> DatasetStore::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -115,7 +115,7 @@ std::vector<std::string> DatasetStore::Names() const {
 }
 
 size_t DatasetStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 

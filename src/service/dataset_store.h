@@ -11,11 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/api/status.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/geometry/matrix.h"
 
 namespace fastcoreset {
@@ -83,8 +84,9 @@ class DatasetStore {
   size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<const DatasetEntry>> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const DatasetEntry>> entries_
+      FC_GUARDED_BY(mutex_);
 };
 
 }  // namespace service

@@ -131,6 +131,63 @@ class Parser {
     }
   }
 
+  /// Validates and copies one multi-byte UTF-8 sequence starting at pos_.
+  /// Rejects stray continuation bytes, truncated sequences, overlong
+  /// encodings, raw-encoded surrogates, and code points past U+10FFFF —
+  /// a string that parses is guaranteed to re-serialize as valid UTF-8.
+  api::FcStatus ConsumeUtf8(std::string* out) {
+    const unsigned char lead = static_cast<unsigned char>(text_[pos_]);
+    size_t length;
+    unsigned code, min_code;
+    if ((lead & 0xE0) == 0xC0) {
+      length = 2, code = lead & 0x1Fu, min_code = 0x80;
+    } else if ((lead & 0xF0) == 0xE0) {
+      length = 3, code = lead & 0x0Fu, min_code = 0x800;
+    } else if ((lead & 0xF8) == 0xF0) {
+      length = 4, code = lead & 0x07u, min_code = 0x10000;
+    } else {
+      return Error("invalid UTF-8 byte in string");
+    }
+    if (pos_ + length > text_.size()) {
+      return Error("truncated UTF-8 sequence in string");
+    }
+    for (size_t i = 1; i < length; ++i) {
+      const unsigned char cont = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((cont & 0xC0) != 0x80) {
+        return Error("invalid UTF-8 continuation byte in string");
+      }
+      code = (code << 6) | (cont & 0x3Fu);
+    }
+    if (code < min_code) return Error("overlong UTF-8 encoding in string");
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      return Error("UTF-8-encoded surrogate in string");
+    }
+    if (code > 0x10FFFF) return Error("UTF-8 code point out of range");
+    out->append(text_, pos_, length);
+    pos_ += length;
+    return api::FcStatus::Ok();
+  }
+
+  /// Reads the 4 hex digits of a \uXXXX escape (pos_ at the first digit).
+  api::FcStatusOr<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
   api::FcStatusOr<std::string> ParseString() {
     ++pos_;  // '"'
     std::string out;
@@ -142,6 +199,11 @@ class Parser {
       }
       if (static_cast<unsigned char>(c) < 0x20) {
         return Error("unescaped control character in string");
+      }
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        api::FcStatus status = ConsumeUtf8(&out);
+        if (!status.ok()) return status;
+        continue;
       }
       if (c != '\\') {
         out.push_back(c);
@@ -177,31 +239,43 @@ class Parser {
           out.push_back('\t');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return Error("invalid \\u escape");
-            }
+          api::FcStatusOr<unsigned> hex = ParseHex4();
+          if (!hex.ok()) return hex.status();
+          unsigned code = hex.value();
+          // Surrogates only occur as a \uD800-\uDBFF + \uDC00-\uDFFF pair
+          // naming one supplementary code point. Combining them here (and
+          // rejecting lone halves) keeps the invariant that every parsed
+          // string is valid UTF-8 — a lone surrogate would otherwise emit
+          // CESU-8 bytes that corrupt the response the server echoes back.
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate in \\u escape");
           }
-          // UTF-8 encode the BMP code point (surrogate pairs are not
-          // combined — dataset names and paths are expected ASCII; a lone
-          // surrogate still round-trips as three bytes).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            api::FcStatusOr<unsigned> low_hex = ParseHex4();
+            if (!low_hex.ok()) return low_hex.status();
+            const unsigned low = low_hex.value();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

@@ -2,9 +2,14 @@
 // newline-delimited JSON over stdin/stdout). The container ships no JSON
 // dependency, so this is a small self-contained value type + strict
 // recursive-descent parser + escaping helpers: objects, arrays, strings
-// (with \uXXXX), doubles, bools, null. Parse errors are recoverable
-// FcStatus values — a malformed request line must produce an error
-// response, never kill the server.
+// (with \uXXXX incl. surrogate pairs), doubles, bools, null. Parse errors
+// are recoverable FcStatus values — a malformed request line must produce
+// an error response, never kill the server. Parsed strings are validated
+// UTF-8: raw bytes are checked for well-formedness (no overlong forms,
+// raw surrogates, or out-of-range code points) and lone \u surrogate
+// halves are rejected, so anything that parses re-serializes as valid
+// UTF-8. Nesting depth is capped and oversized numeric literals are
+// rejected rather than rounded to infinity.
 
 #ifndef FASTCORESET_SERVICE_JSON_H_
 #define FASTCORESET_SERVICE_JSON_H_

@@ -321,8 +321,14 @@ std::string HandleRegister(CoresetService& service, const JsonValue& request) {
   }
   if (!status.ok()) return ErrorResponse(status);
 
-  const std::shared_ptr<const DatasetEntry> entry =
-      service.datasets().Get(name).value();
+  // Re-resolve through the store rather than assuming success: a
+  // concurrent Remove() can unbind the name between the Register above
+  // and this lookup, and .value() on the failed lookup would abort the
+  // server (found by the service concurrency stress test under TSan).
+  api::FcStatusOr<std::shared_ptr<const DatasetEntry>> entry_or =
+      service.datasets().Get(name);
+  if (!entry_or.ok()) return ErrorResponse(entry_or.status());
+  const std::shared_ptr<const DatasetEntry>& entry = entry_or.value();
   ObjectWriter out;
   out.Bool("ok", true);
   out.String("verb", "register");

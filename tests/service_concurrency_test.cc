@@ -1,0 +1,210 @@
+// Multi-threaded stress over CoresetService: N application threads hammer
+// one shared service with interleaved register / build / evict / stats
+// while the builds themselves parallelize on the persistent pool. This is
+// the workload the TSan CI job (tsan preset, FC_THREADS=4) exists for:
+// any data race in CoresetCache, DatasetStore, Registry, the thread pool,
+// or the protocol layer shows up here. The assertions pin the lock-free
+// observable contracts — cache counters add up, concurrent identical
+// requests stay bit-identical, and the NDJSON register path never aborts
+// under a concurrent Remove (the protocol.cc TOCTOU fix).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/service/dataset_store.h"
+#include "src/service/fingerprint.h"
+#include "src/service/protocol.h"
+#include "src/service/service.h"
+
+namespace fastcoreset {
+namespace {
+
+using service::BuildRequest;
+using service::CoresetCache;
+using service::CoresetService;
+using service::ServiceOptions;
+using service::SyntheticSpec;
+
+constexpr size_t kSharedDatasets = 4;
+constexpr size_t kThreads = 8;
+constexpr size_t kRounds = 10;
+
+SyntheticSpec SmallMixture(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.generator = "gaussian_mixture";
+  spec.n = 1200;
+  spec.d = 4;
+  spec.kappa = 4;
+  spec.seed = seed;
+  return spec;
+}
+
+std::string SharedName(size_t index) {
+  return "shared" + std::to_string(index);
+}
+
+BuildRequest SharedRequest(size_t dataset_index) {
+  BuildRequest request;
+  request.dataset = SharedName(dataset_index);
+  request.spec.method = "sensitivity";
+  request.spec.k = 4;
+  request.spec.m = 80;
+  request.spec.z = 2;
+  // One fixed seed per dataset: every thread that builds this dataset
+  // must observe the same bit-identical coreset, cached or rebuilt.
+  request.spec.seed = 1000 + dataset_index;
+  return request;
+}
+
+void RegisterShared(CoresetService& service) {
+  for (size_t i = 0; i < kSharedDatasets; ++i) {
+    ASSERT_TRUE(service.datasets()
+                    .RegisterSynthetic(SharedName(i), SmallMixture(50 + i))
+                    .ok());
+  }
+}
+
+TEST(ServiceConcurrencyTest, ConcurrentBuildsAreConsistent) {
+  CoresetService service(ServiceOptions{/*cache_capacity=*/8});
+  RegisterShared(service);
+
+  // First fingerprint wins; every later build of the same dataset must
+  // match it exactly.
+  std::atomic<uint64_t> expected[kSharedDatasets] = {};
+  std::atomic<size_t> cached_lookups{0};
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t dataset = (t + round) % kSharedDatasets;
+        BuildRequest request = SharedRequest(dataset);
+        // A few bypass builds keep the rebuild path racing the cache.
+        request.use_cache = (t + round) % 3 != 0;
+        api::FcStatusOr<service::BuildResponse> response =
+            service.Build(request);
+        if (!response.ok()) {
+          ++failures;
+          continue;
+        }
+        if (request.use_cache) ++cached_lookups;
+        const uint64_t fingerprint =
+            service::FingerprintCoreset(response->coreset);
+        uint64_t seen = 0;
+        if (!expected[dataset].compare_exchange_strong(seen, fingerprint)) {
+          if (seen != fingerprint) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "concurrent builds of one (dataset, spec) disagreed bit-for-bit";
+
+  // Counter consistency: every cache-enabled build did exactly one
+  // Lookup, so hits + misses must equal the lookups the threads issued
+  // (bypass builds never touch the counters).
+  const CoresetCache::Stats stats = service.CacheStats();
+  EXPECT_EQ(stats.hits + stats.misses, cached_lookups.load());
+  EXPECT_GE(stats.misses, kSharedDatasets);  // Someone built each first.
+  EXPECT_LE(stats.entries, stats.capacity);
+}
+
+TEST(ServiceConcurrencyTest, InterleavedRegisterBuildEvictStats) {
+  CoresetService service(ServiceOptions{/*cache_capacity=*/4});
+  RegisterShared(service);
+
+  std::atomic<size_t> cached_lookups{0};
+  std::atomic<size_t> unexpected{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string own = "private_t" + std::to_string(t);
+      for (size_t round = 0; round < kRounds; ++round) {
+        switch ((t + round) % 4) {
+          case 0: {
+            // Shared-dataset cached build (never removed: must succeed).
+            api::FcStatusOr<service::BuildResponse> response =
+                service.Build(SharedRequest(round % kSharedDatasets));
+            if (response.ok()) {
+              ++cached_lookups;
+            } else {
+              ++unexpected;
+            }
+            break;
+          }
+          case 1: {
+            // Thread-private register -> build -> remove lifecycle.
+            if (!service.datasets()
+                     .RegisterSynthetic(own, SmallMixture(900 + t))
+                     .ok()) {
+              ++unexpected;
+              break;
+            }
+            BuildRequest request = SharedRequest(0);
+            request.dataset = own;
+            request.use_cache = false;  // Bypass: no counter bookkeeping.
+            if (!service.Build(request).ok()) ++unexpected;
+            if (!service.datasets().Remove(own)) ++unexpected;
+            break;
+          }
+          case 2: {
+            // Evict + stats churn; both must stay well-formed mid-storm.
+            if (!service.EvictDataset(SharedName(round % kSharedDatasets))
+                     .ok()) {
+              ++unexpected;
+            }
+            const CoresetCache::Stats stats = service.CacheStats();
+            if (stats.entries > stats.capacity) ++unexpected;
+            if (service.datasets().Names().size() < kSharedDatasets) {
+              ++unexpected;
+            }
+            break;
+          }
+          default: {
+            // NDJSON register racing another thread's Remove of the same
+            // name: responses may be ok or duplicate-name/not-found
+            // errors, but the line is always well-formed JSON and the
+            // server never aborts (regression for the HandleRegister
+            // .value() TOCTOU).
+            const std::string contested =
+                "contested" + std::to_string(round % 2);
+            const std::string line =
+                "{\"verb\":\"register\",\"name\":\"" + contested +
+                "\",\"points\":[[0,1],[2,3],[4,5]]}";
+            const std::string response =
+                service::HandleRequestLine(service, line);
+            if (service::ParseJson(response).ok()) {
+              service.datasets().Remove(contested);
+            } else {
+              ++unexpected;
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(unexpected.load(), 0u);
+  const CoresetCache::Stats stats = service.CacheStats();
+  EXPECT_EQ(stats.hits + stats.misses, cached_lookups.load());
+  EXPECT_LE(stats.entries, stats.capacity);
+  EXPECT_EQ(service.datasets().Names().size(), kSharedDatasets);
+}
+
+}  // namespace
+}  // namespace fastcoreset

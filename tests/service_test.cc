@@ -540,6 +540,79 @@ TEST(JsonTest, ParsesAndRejects) {
   EXPECT_EQ(escaped, "\"a\\\"b\\\\c\\nd\\u0001\"");
 }
 
+TEST(JsonTest, HardenedAgainstHostileInput) {
+  // Depth cap holds for every nesting shape, and the deepest legal
+  // nesting still parses (the cap is a limit, not an off-by-one).
+  for (const char open : {'[', '{'}) {
+    std::string deep;
+    for (int i = 0; i < 80; ++i) {
+      deep += open;
+      if (open == '{') deep += "\"k\":";
+    }
+    EXPECT_FALSE(service::ParseJson(deep).ok()) << "depth cap: " << open;
+  }
+  std::string nested = "1";
+  for (int i = 0; i < 60; ++i) nested = "[" + nested + "]";
+  EXPECT_TRUE(service::ParseJson(nested).ok()) << "60 levels must parse";
+
+  // Long and overflowing numeric literals: rejected, not rounded to inf.
+  EXPECT_FALSE(service::ParseJson("1e309").ok());
+  EXPECT_FALSE(service::ParseJson("-1e309").ok());
+  EXPECT_FALSE(service::ParseJson(std::string(400, '9')).ok());
+  // Long-but-finite literals are fine (denormal underflow is not an
+  // error; strtod rounds).
+  EXPECT_TRUE(service::ParseJson("1e-400").ok());
+  EXPECT_TRUE(
+      service::ParseJson("0." + std::string(5000, '1')).ok());
+
+  // Raw invalid UTF-8 in strings is a parse error, never passed through.
+  for (const std::string bad : {
+           std::string("\"\x80\""),          // stray continuation byte
+           std::string("\"\xc3(\""),         // truncated 2-byte sequence
+           std::string("\"\xc0\xaf\""),      // overlong '/'
+           std::string("\"\xe0\x80\x80\""),  // overlong NUL
+           std::string("\"\xed\xa0\x80\""),  // raw-encoded surrogate
+           std::string("\"\xf4\x90\x80\x80\""),  // > U+10FFFF
+           std::string("\"\xf8\x88\x80\x80\x80\""),  // 5-byte form
+           std::string("\"\xc3"),            // cut at end of input
+       }) {
+    EXPECT_FALSE(service::ParseJson(bad).ok())
+        << "accepted invalid UTF-8: " << bad;
+  }
+  // Well-formed multi-byte sequences round-trip untouched.
+  EXPECT_EQ(service::ParseJson("\"\xe2\x82\xac\"").value().string_value(),
+            "\xe2\x82\xac");  // €
+  EXPECT_EQ(
+      service::ParseJson("\"\xf0\x9f\x98\x80\"").value().string_value(),
+      "\xf0\x9f\x98\x80");  // 😀 (4-byte)
+
+  // \u escapes: lone surrogate halves are rejected; a proper pair
+  // combines into one 4-byte UTF-8 code point (not CESU-8).
+  EXPECT_FALSE(service::ParseJson(R"("\ud83d")").ok());
+  EXPECT_FALSE(service::ParseJson(R"("\ude00")").ok());
+  EXPECT_FALSE(service::ParseJson(R"("\ud83dx")").ok());
+  EXPECT_FALSE(service::ParseJson(R"("\ud83dA")").ok());
+  EXPECT_FALSE(service::ParseJson(R"("\ud83d\ud83d")").ok());
+  EXPECT_EQ(
+      service::ParseJson(R"("\ud83d\ude00")").value().string_value(),
+      "\xf0\x9f\x98\x80");  // Pair combines to U+1F600, one 4-byte char.
+  EXPECT_EQ(service::ParseJson(R"("\u20ac")").value().string_value(),
+            "\xe2\x82\xac");
+
+  // Malformed escapes stay recoverable errors.
+  for (const char* bad : {R"("\u12")", R"("\u12gh")", R"("\q")", R"("\)"}) {
+    EXPECT_FALSE(service::ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+
+  // A hostile request line produces an error response, never a crash.
+  CoresetService svc;
+  const std::string response = service::HandleRequestLine(
+      svc, "{\"verb\":\"register\",\"name\":\"\xff\xfe\"}");
+  const auto parsed = service::ParseJson(response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->Find("ok")->bool_value());
+}
+
 TEST(ProtocolTest, SpecFromJsonMarshalsFieldsAndOptions) {
   const auto request = service::ParseJson(
       R"({"method":"welterweight","k":6,"m":80,"z":1,"seed":11,)"

@@ -1,0 +1,200 @@
+// Fuzz harness for the fc_serve request surface: one input line goes
+// through the exact production path — ParseJson, SpecFromJson, and
+// HandleRequestLine against a live CoresetService — and the harness
+// asserts the protocol's crash-freedom contract: every input produces a
+// well-formed JSON response line, never an abort, leak, or sanitizer
+// fault.
+//
+// Two build modes share this file:
+//   - FC_FUZZ=ON (clang): links -fsanitize=fuzzer and libFuzzer drives
+//     LLVMFuzzerTestOneInput with coverage-guided mutation. CI runs
+//     `fuzz_service_json -max_total_time=60 tools/fuzz_corpus/...`.
+//   - FC_FUZZ=OFF (any compiler): a standalone main() replays the files
+//     named on the command line through the same entry point, so the
+//     committed corpus is exercised as a plain ctest on gcc-only hosts.
+//
+// The service is rebuilt per input: registration state leaking across
+// inputs would make crashes depend on mutation order, which destroys
+// reproducibility (a lone corpus file must reproduce its finding).
+//
+// Dangerous numeric fields are clamped BEFORE the service sees them:
+// `n`/`d` of a synthetic registration or `m` of a build multiply into
+// allocations, and a fuzzer asked to explore 2^53 sizes only finds OOM,
+// not bugs. The clamp rewrites the parsed request and re-serializes it —
+// everything else (structure, strings, unknown keys, type confusion)
+// reaches the service untouched.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/service/json.h"
+#include "src/service/protocol.h"
+#include "src/service/service.h"
+
+namespace fastcoreset {
+namespace {
+
+using service::JsonValue;
+
+// Anything that scales an allocation is capped to "small but exercised".
+constexpr double kMaxPoints = 512.0;    // synthetic n / inline rows
+constexpr double kMaxDims = 16.0;       // synthetic d
+constexpr double kMaxCoreset = 256.0;   // m
+constexpr double kMaxShards = 8.0;      // shards
+constexpr size_t kMaxInlineCells = 4096;
+
+double ClampNumber(double value, double cap) {
+  if (!(value >= 0.0)) return value;  // Negative/NaN: let validation see it.
+  return value < cap ? value : cap;
+}
+
+void ClampField(JsonValue::Object* object, const std::string& key,
+                double cap) {
+  auto it = object->find(key);
+  if (it != object->end() && it->second.is_number()) {
+    it->second = JsonValue(ClampNumber(it->second.number_value(), cap));
+  }
+}
+
+/// Serializes a JsonValue back to text (the parser's inverse; objects are
+/// stored sorted, so this is deterministic).
+void Serialize(const JsonValue& value, std::string* out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Kind::kBool:
+      out->append(value.bool_value() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber:
+      out->append(service::JsonNumber(value.number_value()));
+      break;
+    case JsonValue::Kind::kString:
+      service::AppendJsonString(out, value.string_value());
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& element : value.array()) {
+        if (!first) out->push_back(',');
+        first = false;
+        Serialize(element, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.object()) {
+        if (!first) out->push_back(',');
+        first = false;
+        service::AppendJsonString(out, key);
+        out->push_back(':');
+        Serialize(member, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+/// Rewrites allocation-scaling fields of a parsed request in place.
+/// Returns the re-serialized line, or the original when it isn't a JSON
+/// object (non-object lines are interesting exactly as they are).
+std::string ClampRequest(const std::string& line) {
+  api::FcStatusOr<JsonValue> parsed = service::ParseJson(line);
+  if (!parsed.ok() || !parsed.value().is_object()) return line;
+  JsonValue::Object object = parsed.value().object();
+
+  ClampField(&object, "m", kMaxCoreset);
+  ClampField(&object, "k", kMaxCoreset);
+  ClampField(&object, "shards", kMaxShards);
+
+  auto synthetic = object.find("synthetic");
+  if (synthetic != object.end() && synthetic->second.is_object()) {
+    JsonValue::Object spec = synthetic->second.object();
+    ClampField(&spec, "n", kMaxPoints);
+    ClampField(&spec, "d", kMaxDims);
+    ClampField(&spec, "kappa", kMaxPoints);
+    ClampField(&spec, "k", kMaxCoreset);
+    ClampField(&spec, "r", kMaxDims);
+    ClampField(&spec, "c", kMaxPoints);
+    synthetic->second = JsonValue(std::move(spec));
+  }
+
+  // Inline point matrices allocate rows*cols doubles; truncate rather
+  // than clamp (the values themselves are the interesting part).
+  auto points = object.find("points");
+  if (points != object.end() && points->second.is_array()) {
+    JsonValue::Array rows = points->second.array();
+    size_t cells = 0;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      cells += rows[r].is_array() ? rows[r].array().size() : 1;
+      if (cells > kMaxInlineCells) {
+        rows.resize(r);
+        break;
+      }
+    }
+    points->second = JsonValue(std::move(rows));
+  }
+
+  std::string clamped;
+  Serialize(JsonValue(std::move(object)), &clamped);
+  return clamped;
+}
+
+void FuzzOneLine(const std::string& line) {
+  service::CoresetService svc(service::ServiceOptions{/*cache_capacity=*/4});
+  const std::string response =
+      service::HandleRequestLine(svc, ClampRequest(line));
+  // The contract under test: the response is always one parseable JSON
+  // object with an "ok" bool, no matter what came in.
+  api::FcStatusOr<JsonValue> parsed = service::ParseJson(response);
+  FC_CHECK(parsed.ok());
+  const JsonValue* ok = parsed.value().Find("ok");
+  FC_CHECK(ok != nullptr && ok->is_bool());
+}
+
+}  // namespace
+}  // namespace fastcoreset
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  fastcoreset::FuzzOneLine(
+      std::string(reinterpret_cast<const char*>(data), size));
+  return 0;
+}
+
+#if !defined(FC_FUZZ_WITH_LIBFUZZER)
+// Corpus-replay driver for builds without libFuzzer (gcc, or clang with
+// FC_FUZZ=OFF): each argv names a corpus file to feed through the same
+// entry point. Exit 0 = no contract violation (FC_CHECK aborts on one).
+int main(int argc, char** argv) {
+  size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    FILE* file = std::fopen(argv[i], "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "fuzz_service_json: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::string data;
+    char buffer[4096];
+    size_t read;
+    while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      data.append(buffer, read);
+    }
+    std::fclose(file);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(data.data()),
+                           data.size());
+    ++replayed;
+  }
+  std::printf("fuzz_service_json: replayed %zu corpus file(s), no "
+              "violations\n",
+              replayed);
+  return 0;
+}
+#endif  // !FC_FUZZ_WITH_LIBFUZZER
