@@ -73,6 +73,9 @@ CoresetBuilder BuilderFor(const CoresetAlgorithm* algorithm,
                         Rng& rng) {
         FcStatus status = ValidateInput(points, weights);
         if (status.ok()) status = algorithm->ValidateInput(points, weights);
+        // fc-lint: allow(no-abort-in-service): the raw CoresetBuilder
+        // callable documents a pre-validated-input contract; the
+        // status-returning path is api::Build, which validates first.
         FC_CHECK_MSG(status.ok(), status.ToString().c_str());
         return algorithm->Build(spec, points, weights, m, rng,
                                 /*diag=*/nullptr);

@@ -30,7 +30,11 @@ Registry& Registry::Instance() {
 void Registry::Register(const std::string& name, Factory factory,
                         const std::vector<std::string>& aliases) {
   MutexLock lock(mutex_);
+  // fc-lint: allow(no-abort-in-service): Register runs once at static
+  // init from RegisterBuiltins; an empty name is a programmer error.
   FC_CHECK_MSG(!name.empty(), "registry name is empty");
+  // fc-lint: allow(no-abort-in-service): duplicate registration is a
+  // build-time programmer error, never reachable from a request.
   FC_CHECK_MSG(entries_.find(name) == entries_.end(),
                "duplicate registry name");
   Entry entry;
@@ -38,6 +42,8 @@ void Registry::Register(const std::string& name, Factory factory,
   entry.canonical = name;
   entries_.emplace(name, std::move(entry));
   for (const std::string& alias : aliases) {
+    // fc-lint: allow(no-abort-in-service): duplicate alias registration
+    // is a build-time programmer error, never reachable from a request.
     FC_CHECK_MSG(entries_.find(alias) == entries_.end(),
                  "duplicate registry alias");
     Entry alias_entry;

@@ -84,6 +84,8 @@ class FcStatusOr {
   /// Implicit from a non-ok status (error). Constructing from an ok
   /// status without a value is a caller bug.
   FcStatusOr(FcStatus status) : status_(std::move(status)) {
+    // fc-lint: allow(no-abort-in-service): type invariant — constructing
+    // an FcStatusOr from an ok status with no value is a caller bug.
     FC_CHECK_MSG(!status_.ok(), "FcStatusOr built from ok status, no value");
   }
 
@@ -114,6 +116,9 @@ class FcStatusOr {
  private:
   void CheckHasValue() const {
     if (!value_.has_value()) {
+      // fc-lint: allow(no-abort-in-service): this IS the documented abort
+      // behind value(); the status-value-unchecked lint rule exists to
+      // keep service code from ever reaching it unguarded.
       internal_check::CheckFailed("FcStatusOr", 0, "value()",
                                   status_.ToString().c_str());
     }

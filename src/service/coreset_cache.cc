@@ -19,6 +19,9 @@ std::shared_ptr<const CachedBuild> CoresetCache::Lookup(
 }
 
 void CoresetCache::Insert(std::shared_ptr<const CachedBuild> entry) {
+  // fc-lint: allow(no-abort-in-service): null entry is a programmer
+  // error in the build pipeline, not request data; requests cannot
+  // steer this argument.
   FC_CHECK(entry != nullptr);
   if (capacity_ == 0) return;
   MutexLock lock(mutex_);

@@ -332,26 +332,36 @@ class Parser {
 }  // namespace
 
 bool JsonValue::bool_value() const {
+  // fc-lint: allow(no-abort-in-service): typed-accessor contract
+  // — callers test kind() first; a mismatch is a programmer error.
   FC_CHECK(kind_ == Kind::kBool);
   return bool_;
 }
 
 double JsonValue::number_value() const {
+  // fc-lint: allow(no-abort-in-service): typed-accessor contract
+  // — callers test kind() first; a mismatch is a programmer error.
   FC_CHECK(kind_ == Kind::kNumber);
   return number_;
 }
 
 const std::string& JsonValue::string_value() const {
+  // fc-lint: allow(no-abort-in-service): typed-accessor contract
+  // — callers test kind() first; a mismatch is a programmer error.
   FC_CHECK(kind_ == Kind::kString);
   return string_;
 }
 
 const JsonValue::Array& JsonValue::array() const {
+  // fc-lint: allow(no-abort-in-service): typed-accessor contract
+  // — callers test kind() first; a mismatch is a programmer error.
   FC_CHECK(kind_ == Kind::kArray);
   return array_;
 }
 
 const JsonValue::Object& JsonValue::object() const {
+  // fc-lint: allow(no-abort-in-service): typed-accessor contract
+  // — callers test kind() first; a mismatch is a programmer error.
   FC_CHECK(kind_ == Kind::kObject);
   return object_;
 }

@@ -37,6 +37,9 @@ uint64_t DeriveBuildSeed(uint64_t base_seed, uint64_t domain, uint64_t index) {
 }
 
 size_t EffectiveShardCount(size_t rows, size_t requested) {
+  // fc-lint: allow(no-abort-in-service): the service rejects shards == 0
+  // with InvalidArgument before planning (service.cc), so zero here is a
+  // programmer error, not request data.
   FC_CHECK_GT(requested, 0u);
   if (rows == 0) return 1;
   return requested < rows ? requested : rows;

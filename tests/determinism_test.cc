@@ -20,6 +20,9 @@
 #include "src/core/sensitivity_sampling.h"
 #include "src/data/generators.h"
 #include "src/geometry/distance.h"
+#include "src/geometry/quadtree.h"
+#include "src/spread/crude_approx.h"
+#include "src/spread/reduce_spread.h"
 
 namespace fastcoreset {
 namespace {
@@ -198,6 +201,121 @@ TEST(DeterminismTest, LloydBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(result1.assignment, result4.assignment);
   EXPECT_EQ(result1.total_cost, result4.total_cost);
   EXPECT_EQ(result1.centers.data(), result4.centers.data());
+}
+
+// The spread/quadtree path stores grid cells in unordered containers
+// (quadtree build_map_, Crude-Approx cell counting, Reduce-Spread box
+// ids). None of them may let hash-iteration order reach results — these
+// tests pin that, at any thread count and across repeated runs.
+
+TEST(DeterminismTest, FastCoresetSpreadPathBitIdenticalAcrossThreadCounts) {
+  const Matrix points = TestPoints(8, 119);
+  FastCoresetOptions options;
+  options.k = 10;
+  options.m = 200;
+  options.use_spread_reduction = true;
+  Coreset coreset1, coreset4;
+  {
+    ThreadCountGuard guard(1);
+    Rng rng(120);
+    coreset1 = FastCoreset(points, {}, options, rng);
+  }
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(120);
+    coreset4 = FastCoreset(points, {}, options, rng);
+  }
+  ExpectCoresetsIdentical(coreset1, coreset4);
+
+  // Second run, same seed, same thread count: bit-equal with the first.
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(120);
+    const Coreset again = FastCoreset(points, {}, options, rng);
+    ExpectCoresetsIdentical(coreset4, again);
+  }
+}
+
+TEST(DeterminismTest, ReduceSpreadBitIdenticalAcrossThreadCountsAndRuns) {
+  const Matrix points = TestPoints(6, 121);
+  const double upper_bound = 50.0;
+  SpreadReduction red1, red4;
+  {
+    ThreadCountGuard guard(1);
+    Rng rng(122);
+    red1 = ReduceSpread(points, upper_bound, /*log_spread_hint=*/64, rng);
+  }
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(122);
+    red4 = ReduceSpread(points, upper_bound, /*log_spread_hint=*/64, rng);
+  }
+  EXPECT_EQ(red1.points.data(), red4.points.data());
+  EXPECT_EQ(red1.box_of_point, red4.box_of_point);
+  EXPECT_EQ(red1.box_shift.data(), red4.box_shift.data());
+  EXPECT_EQ(red1.grid_size, red4.grid_size);
+  EXPECT_EQ(red1.num_boxes, red4.num_boxes);
+
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(122);
+    const SpreadReduction again =
+        ReduceSpread(points, upper_bound, /*log_spread_hint=*/64, rng);
+    EXPECT_EQ(red4.points.data(), again.points.data());
+    EXPECT_EQ(red4.box_of_point, again.box_of_point);
+  }
+}
+
+TEST(DeterminismTest, CrudeApproxBitIdenticalAcrossThreadCountsAndRuns) {
+  const Matrix points = TestPoints(5, 123);
+  CrudeApproxResult res1, res4;
+  {
+    ThreadCountGuard guard(1);
+    Rng rng(124);
+    res1 = CrudeApprox(points, /*k=*/10, rng);
+  }
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(124);
+    res4 = CrudeApprox(points, /*k=*/10, rng);
+  }
+  EXPECT_EQ(res1.upper_bound, res4.upper_bound);
+  EXPECT_EQ(res1.lower_bound, res4.lower_bound);
+  EXPECT_EQ(res1.split_level, res4.split_level);
+  EXPECT_EQ(res1.probes, res4.probes);
+
+  {
+    ThreadCountGuard guard(4);
+    Rng rng(124);
+    const CrudeApproxResult again = CrudeApprox(points, /*k=*/10, rng);
+    EXPECT_EQ(res4.upper_bound, again.upper_bound);
+    EXPECT_EQ(res4.split_level, again.split_level);
+  }
+}
+
+TEST(DeterminismTest, QuadtreeStructureIdenticalAcrossRepeatedBuilds) {
+  // The quadtree's cell dictionary is an unordered_map; structure must
+  // come only from insertion order (the point order), never from hash
+  // iteration. Two same-seed builds must agree node for node.
+  const Matrix points = TestPoints(4, 125);
+  Rng rng_a(126), rng_b(126);
+  const Quadtree tree_a(points, rng_a, /*max_depth=*/12);
+  const Quadtree tree_b(points, rng_b, /*max_depth=*/12);
+  ASSERT_EQ(tree_a.num_nodes(), tree_b.num_nodes());
+  EXPECT_EQ(tree_a.shift(), tree_b.shift());
+  EXPECT_EQ(tree_a.root_side(), tree_b.root_side());
+  for (size_t p = 0; p < points.rows(); ++p) {
+    ASSERT_EQ(tree_a.LeafOfPoint(p), tree_b.LeafOfPoint(p)) << "point " << p;
+  }
+  for (size_t id = 0; id < tree_a.num_nodes(); ++id) {
+    const Quadtree::Node& a = tree_a.node(static_cast<int32_t>(id));
+    const Quadtree::Node& b = tree_b.node(static_cast<int32_t>(id));
+    ASSERT_EQ(a.level, b.level) << "node " << id;
+    ASSERT_EQ(a.parent, b.parent) << "node " << id;
+    ASSERT_EQ(a.is_leaf, b.is_leaf) << "node " << id;
+    ASSERT_EQ(a.children, b.children) << "node " << id;
+    ASSERT_EQ(a.points, b.points) << "node " << id;
+  }
 }
 
 TEST(DeterminismTest, RepeatedRunsIdenticalAtFixedThreadCount) {

@@ -1,0 +1,1195 @@
+#!/usr/bin/env python3
+"""fc_lint: project-invariant static analyzer for the fastcoreset repo.
+
+Generic tools cannot see this project's three load-bearing contracts:
+
+  * bit-identical results at any FC_THREADS (the determinism contract),
+  * the non-aborting FcStatus/FcStatusOr error model in src/api/ and
+    src/service/ (the serving stack must never die on a bad request),
+  * the PR 6 annotated-locking discipline (src/common/mutex.h wrappers).
+
+fc_lint makes them machine-checked. Each rule has an ID, a fix-it-style
+message, and a suppression syntax that *requires* a written rationale:
+
+    // fc-lint: allow(<rule-id>): <why this site is safe>
+
+A suppression comment covers its own line and, when it stands alone on a
+line, the next line. A suppression without a rationale — or naming an
+unknown rule — is itself an error (`bad-suppression`).
+
+Rules (see RULES below for scope and details):
+
+  status-value-unchecked   .value()/operator*/-> on an FcStatusOr with no
+                           dominating .ok() guard in the enclosing function
+  no-abort-in-service      FC_CHECK/abort/throw/exit in src/api, src/service
+  raw-mutex                std::mutex & friends outside src/common/mutex.h
+  nondeterministic-iteration  iterating unordered_{map,set} in src/
+  banned-entropy           rand/random_device/time/chrono-now outside the
+                           Timer/Rng abstractions
+  umbrella-include         bench/examples reaching past src/api/fastcoreset.h
+                           into per-method compression headers
+
+Engines
+-------
+Rule logic consumes a normalized token stream. Two producers exist:
+
+  * builtin — a self-contained C++ lexer (no dependencies). Authoritative:
+    the fixture corpus and CI gate run on it everywhere.
+  * clang   — libclang's lexer via the `clang.cindex` Python bindings,
+    feeding the same normalized stream (used where the bindings and
+    libclang are installed; `--engine auto` picks it up automatically).
+
+Comment/suppression parsing and #include extraction always use the builtin
+lexer so suppressions and the umbrella rule behave identically under both
+engines.
+
+Baseline
+--------
+`--baseline FILE` loads grandfathered findings (file+rule+count triples);
+matched findings are reported as "baselined" and do not fail the run.
+`--write-baseline FILE` records the current findings. The committed
+baseline (tools/lint/fc_lint_baseline.json) is empty and must stay empty:
+new findings are fixed or suppressed with a rationale, not baselined.
+
+Typical invocations (from the repo root):
+
+    python3 tools/lint/fc_lint.py src tools bench examples
+    python3 tools/lint/fc_lint.py --selftest
+    python3 tools/lint/fc_lint.py --list-rules
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+# --------------------------------------------------------------------------
+# Tokens
+# --------------------------------------------------------------------------
+
+# Token kinds: 'id' (identifier or keyword), 'num', 'str' (string literal),
+# 'chr' (char literal), 'punct'.
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+# Maximal-munch puncts, longest first, mirroring clang's lexer so both
+# engines produce the same stream.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "##",
+]
+
+_ID_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_ID_CONT = _ID_START | set("0123456789")
+
+
+@dataclass
+class LexResult:
+    tokens: List[Token]
+    comments: List[Tuple[int, str]]  # (line, comment text incl. delimiters)
+    # Source with comments replaced by spaces (string literals intact),
+    # used for #include extraction.
+    stripped: str
+
+
+def lex_builtin(text: str) -> LexResult:
+    """Hand-rolled C++ lexer: tokens + comments + comment-stripped text."""
+    tokens: List[Token] = []
+    comments: List[Tuple[int, str]] = []
+    stripped = list(text)
+    i, n, line = 0, len(text), 1
+
+    def blank(a: int, b: int) -> None:
+        for j in range(a, b):
+            if stripped[j] not in "\n":
+                stripped[j] = " "
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Line comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comments.append((line, text[i:j]))
+            blank(i, j)
+            i = j
+            continue
+        # Block comment.
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            comments.append((line, text[i:j]))
+            blank(i, j)
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        # Raw string literal: R"delim( ... )delim".
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            m = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
+            if m:
+                end_mark = ")" + m.group(1) + '"'
+                j = text.find(end_mark, i + m.end())
+                j = n if j == -1 else j + len(end_mark)
+                tokens.append(Token("str", text[i:j], line))
+                line += text.count("\n", i, j)
+                i = j
+                continue
+        # String / char literal (with escapes).
+        if c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            j = min(j + 1, n)
+            tokens.append(Token("str" if c == '"' else "chr", text[i:j], line))
+            line += text.count("\n", i, j)
+            i = j
+            continue
+        # Identifier / keyword.
+        if c in _ID_START:
+            j = i + 1
+            while j < n and text[j] in _ID_CONT:
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        # Number (incl. hex, floats, digit separators; pp-numbers are fine).
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j] in _ID_CONT or text[j] in ".'" or
+                             (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        # Punctuation, maximal munch.
+        for p in _PUNCTS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token("punct", c, line))
+            i += 1
+    return LexResult(tokens, comments, "".join(stripped))
+
+
+def lex_clang(path: str, text: str) -> List[Token]:
+    """libclang tokenizer -> the same normalized stream as lex_builtin.
+
+    Only the token stream comes from libclang; comments, suppressions and
+    include extraction stay on the builtin lexer (see module docstring).
+    """
+    import clang.cindex as cindex  # noqa: deferred, availability-gated
+
+    tu = cindex.TranslationUnit.from_source(
+        path,
+        args=["-std=c++20", "-fsyntax-only"],
+        unsaved_files=[(path, text)],
+        options=cindex.TranslationUnit.PARSE_DETAILED_PREPROCESSING_RECORD,
+    )
+    out: List[Token] = []
+    for tok in tu.get_tokens(extent=tu.cursor.extent):
+        kind = tok.kind.name  # PUNCTUATION, KEYWORD, IDENTIFIER, LITERAL,
+        # COMMENT
+        spelling = tok.spelling
+        line = tok.location.line
+        if kind == "COMMENT":
+            continue
+        if kind in ("KEYWORD", "IDENTIFIER"):
+            out.append(Token("id", spelling, line))
+        elif kind == "LITERAL":
+            if spelling.startswith(('"', 'R"', 'u"', 'U"', 'L"', 'u8"')):
+                out.append(Token("str", spelling, line))
+            elif spelling.startswith("'"):
+                out.append(Token("chr", spelling, line))
+            else:
+                out.append(Token("num", spelling, line))
+        else:
+            out.append(Token("punct", spelling, line))
+    return out
+
+
+def clang_available() -> bool:
+    try:
+        import clang.cindex as cindex
+
+        cindex.Config().get_cindex_library()
+        return True
+    except Exception:
+        return False
+
+
+# --------------------------------------------------------------------------
+# Findings, suppressions, baseline
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    path: str  # repo-relative posix path
+    line: int
+    rule: str
+    message: str
+    baselined: bool = False
+    suppressed: bool = False
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: error: [{self.rule}] {self.message}"
+
+
+_SUPPRESS_RE = re.compile(
+    r"fc-lint:\s*allow\(\s*([A-Za-z0-9_,\s-]*?)\s*\)\s*(?::\s*(.*?))?\s*(?:\*/)?\s*$"
+)
+
+
+@dataclass
+class Suppressions:
+    # line -> set of rule ids allowed on that line.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)  # bad-suppression
+
+
+def parse_suppressions(path: str, lex: LexResult,
+                       known_rules: Set[str]) -> Suppressions:
+    sup = Suppressions()
+    stripped_lines = lex.stripped.split("\n")
+    for line_no, comment in lex.comments:
+        if "fc-lint" not in comment:
+            continue
+        m = _SUPPRESS_RE.search(comment)
+        if not m:
+            sup.findings.append(Finding(
+                path, line_no, "bad-suppression",
+                "malformed fc-lint comment; use "
+                "`// fc-lint: allow(<rule>): <rationale>`"))
+            continue
+        rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
+        rationale = (m.group(2) or "").strip()
+        ok = True
+        if not rules:
+            sup.findings.append(Finding(
+                path, line_no, "bad-suppression",
+                "allow() names no rule"))
+            ok = False
+        for r in rules:
+            if r not in known_rules:
+                sup.findings.append(Finding(
+                    path, line_no, "bad-suppression",
+                    f"allow() names unknown rule '{r}'"))
+                ok = False
+        if len(rationale) < 10:
+            sup.findings.append(Finding(
+                path, line_no, "bad-suppression",
+                "suppression requires a written rationale (>= 10 chars) "
+                "after the colon: `// fc-lint: allow(<rule>): <why>`"))
+            ok = False
+        if not ok:
+            continue
+        covered = {line_no}
+        # A comment alone on its line covers the next *code* line, skipping
+        # blank lines and rationale-continuation comments (bounded so a
+        # stray suppression cannot reach across a whole file).
+        src_line = stripped_lines[line_no - 1] if line_no <= len(
+            stripped_lines) else ""
+        if not src_line.strip():
+            for ln in range(line_no + 1, min(line_no + 6,
+                                             len(stripped_lines) + 1)):
+                covered.add(ln)
+                if stripped_lines[ln - 1].strip():
+                    break
+        for ln in covered:
+            sup.by_line.setdefault(ln, set()).update(rules)
+    return sup
+
+
+def load_baseline(path: Optional[str]) -> Dict[Tuple[str, str], int]:
+    if not path:
+        return {}
+    with open(path, "r", encoding="utf-8") as f:
+        entries = json.load(f)
+    out: Dict[Tuple[str, str], int] = {}
+    for e in entries:
+        out[(e["file"], e["rule"])] = out.get((e["file"], e["rule"]), 0) + \
+            int(e.get("count", 1))
+    return out
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    counts: Dict[Tuple[str, str], int] = {}
+    for f in findings:
+        counts[(f.path, f.rule)] = counts.get((f.path, f.rule), 0) + 1
+    entries = [{"file": k[0], "rule": k[1], "count": v}
+               for k, v in sorted(counts.items())]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entries, fh, indent=2)
+        fh.write("\n")
+
+
+# --------------------------------------------------------------------------
+# Scope helpers
+# --------------------------------------------------------------------------
+
+
+def _under(path: str, prefixes: Sequence[str]) -> bool:
+    return any(path == p or path.startswith(p.rstrip("/") + "/")
+               for p in prefixes)
+
+
+# --------------------------------------------------------------------------
+# Rule 1: status-value-unchecked
+# --------------------------------------------------------------------------
+
+_STATUSOR_NAMES = {"FcStatusOr"}
+_GUARD_MEMBERS = {"ok", "has_value"}
+_EVIDENCE_MEMBERS = {"ok", "status", "has_value"}
+
+
+def _function_bodies(tokens: List[Token]) -> List[Tuple[int, int]]:
+    """[start, end) token ranges of outermost function-like bodies.
+
+    A `{` opens a function body when we are not already inside one and
+    scanning backwards (skipping matched `{...}` groups, e.g. brace
+    member-inits in a ctor-init list) hits `)` before any of `;` `{` `}`.
+    This also admits namespace-scope lambdas, which is what we want.
+    """
+    bodies: List[Tuple[int, int]] = []
+    depth = 0
+    body_open_depth: Optional[int] = None
+    body_start = 0
+    for i, tok in enumerate(tokens):
+        if tok.kind != "punct":
+            continue
+        if tok.text == "{":
+            if body_open_depth is None and _looks_like_function_open(tokens, i):
+                body_open_depth = depth
+                body_start = i
+            depth += 1
+        elif tok.text == "}":
+            depth -= 1
+            if body_open_depth is not None and depth == body_open_depth:
+                bodies.append((body_start, i + 1))
+                body_open_depth = None
+    if body_open_depth is not None:  # unbalanced file; take what we have
+        bodies.append((body_start, len(tokens)))
+    return bodies
+
+
+def _looks_like_function_open(tokens: List[Token], at: int) -> bool:
+    i = at - 1
+    skipped_group = False
+    seen_colon = False
+    while i >= 0:
+        tok = tokens[i]
+        if tok.kind == "punct":
+            if tok.text == ")":
+                # Plain `...) {` is a body. If we skipped a brace group on
+                # the way here it must have been a ctor member-init
+                # (`Foo() : a_{x} {`), which always has a `:` between the
+                # `)` and the braces — without one, the group we skipped
+                # was a *previous definition's* body and this `{` opens a
+                # class/enum/namespace, not a function.
+                return seen_colon or not skipped_group
+            if tok.text in (";", "{"):
+                return False
+            if tok.text == ":":
+                seen_colon = True
+            if tok.text == "}":
+                # Skip a matched {...} group (brace member-init) and keep
+                # scanning left.
+                skipped_group = True
+                depth = 1
+                i -= 1
+                while i >= 0 and depth:
+                    if tokens[i].kind == "punct":
+                        if tokens[i].text == "}":
+                            depth += 1
+                        elif tokens[i].text == "{":
+                            depth -= 1
+                    i -= 1
+                continue
+        elif tok.kind == "id" and tok.text in ("else", "do", "try"):
+            # `else {`, `do {`, `try {` are statement blocks, not bodies —
+            # but those only occur inside a function we are already in.
+            return False
+        i -= 1
+    return False
+
+
+def _collect_statusor_decls(tokens: List[Token], lo: int, hi: int) -> Set[str]:
+    """Names declared with an explicit FcStatusOr<...> type in [lo, hi)."""
+    names: Set[str] = set()
+    i = lo
+    while i < hi:
+        tok = tokens[i]
+        if tok.kind == "id" and tok.text in _STATUSOR_NAMES:
+            j = i + 1
+            if j < hi and tokens[j].kind == "punct" and tokens[j].text == "<":
+                # Match template args; `>>` closes two levels.
+                depth = 0
+                while j < hi:
+                    t = tokens[j]
+                    if t.kind == "punct":
+                        if t.text == "<":
+                            depth += 1
+                        elif t.text == ">":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        elif t.text == ">>":
+                            depth -= 2
+                            if depth <= 0:
+                                break
+                    j += 1
+                j += 1
+                # Optional ref/ptr qualifiers, then the declared name.
+                while j < hi and tokens[j].kind == "punct" and \
+                        tokens[j].text in ("&", "*", "&&"):
+                    j += 1
+                if j < hi and tokens[j].kind == "id":
+                    nxt = tokens[j + 1] if j + 1 < hi else None
+                    if nxt is not None and nxt.kind == "punct" and \
+                            nxt.text in ("=", ";", ",", ")", "(", "{"):
+                        names.add(tokens[j].text)
+                        i = j
+        i += 1
+    return names
+
+
+def _collect_evidence_names(tokens: List[Token], lo: int, hi: int) -> Set[str]:
+    """Names used with .ok()/.status()/.has_value() — status-like evidence
+    for `auto`-declared FcStatusOr variables."""
+    names: Set[str] = set()
+    for i in range(lo, hi - 3):
+        if (tokens[i].kind == "id" and tokens[i + 1].kind == "punct" and
+                tokens[i + 1].text == "." and tokens[i + 2].kind == "id" and
+                tokens[i + 2].text in _EVIDENCE_MEMBERS and
+                tokens[i + 3].kind == "punct" and tokens[i + 3].text == "("):
+            prev = tokens[i - 1] if i > lo else None
+            if prev is None or not (prev.kind == "punct" and
+                                    prev.text in (".", "->", "::")):
+                names.add(tokens[i].text)
+    return names
+
+
+def rule_status_value_unchecked(path: str, tokens: List[Token]) -> List[Finding]:
+    findings: List[Finding] = []
+    for lo, hi in _function_bodies(tokens):
+        tracked = _collect_statusor_decls(tokens, lo, hi)
+        tracked |= _collect_evidence_names(tokens, lo, hi)
+        # Include decls in the parameter list / return type immediately
+        # before the body (parameters are uses too).
+        param_lo = max(0, lo - 64)
+        tracked |= _collect_statusor_decls(tokens, param_lo, lo)
+        guarded: Set[str] = set()
+        i = lo
+        while i < hi:
+            tok = tokens[i]
+            nxt = tokens[i + 1] if i + 1 < hi else None
+            prv = tokens[i - 1] if i > 0 else None
+            if tok.kind == "id" and tok.text in tracked and not (
+                    prv is not None and prv.kind == "punct" and
+                    prv.text in (".", "->", "::")):
+                name = tok.text
+                # Guard: name.ok() / name.has_value().
+                if (nxt is not None and nxt.text == "." and i + 3 < hi and
+                        tokens[i + 2].kind == "id" and
+                        tokens[i + 2].text in _GUARD_MEMBERS and
+                        tokens[i + 3].text == "("):
+                    guarded.add(name)
+                    i += 4
+                    continue
+                # Reassignment invalidates an earlier guard.
+                if (nxt is not None and nxt.kind == "punct" and
+                        nxt.text == "="):
+                    guarded.discard(name)
+                    i += 2
+                    continue
+                # Use: name.value(), name->member, *name (unary context).
+                use = None
+                if (nxt is not None and nxt.text == "." and i + 3 < hi and
+                        tokens[i + 2].kind == "id" and
+                        tokens[i + 2].text == "value" and
+                        tokens[i + 3].text == "("):
+                    use = f"'{name}.value()'"
+                elif nxt is not None and nxt.kind == "punct" and \
+                        nxt.text == "->":
+                    use = f"'{name}->'"
+                if prv is not None and prv.kind == "punct" and \
+                        prv.text == "*" and use is None:
+                    before = tokens[i - 2] if i >= 2 else None
+                    if before is None or (before.kind == "punct" and
+                                          before.text in
+                                          ("=", "(", ",", "{", ";", "<",
+                                           "return")) or \
+                            (before.kind == "id" and before.text == "return"):
+                        use = f"'*{name}'"
+                if use is not None and name not in guarded:
+                    findings.append(Finding(
+                        path, tok.line, "status-value-unchecked",
+                        f"{use} on FcStatusOr '{name}' with no dominating "
+                        f".ok() guard in this function; add "
+                        f"`if (!{name}.ok()) return {name}.status();` (or "
+                        f"equivalent) before the access"))
+            # Chained: <call>(...).value() — can never have been checked.
+            if (tok.kind == "punct" and tok.text == ")" and nxt is not None and
+                    nxt.text == "." and i + 3 < hi and
+                    tokens[i + 2].kind == "id" and
+                    tokens[i + 2].text == "value" and
+                    tokens[i + 3].text == "("):
+                # Exclude `x.value().value()`-ish? No: still unchecked.
+                # Exclude the guard idiom `(x = f()).ok()` — not .value().
+                findings.append(Finding(
+                    path, tokens[i + 2].line, "status-value-unchecked",
+                    "'.value()' directly on a call result — the status was "
+                    "never checked (the PR 6 server-abort TOCTOU class); "
+                    "bind the FcStatusOr to a named local and test .ok() "
+                    "first"))
+            i += 1
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule 2: no-abort-in-service
+# --------------------------------------------------------------------------
+
+_ABORT_IDS = {
+    "FC_CHECK", "FC_CHECK_MSG", "FC_CHECK_EQ", "FC_CHECK_NE", "FC_CHECK_GT",
+    "FC_CHECK_GE", "FC_CHECK_LT", "FC_CHECK_LE", "FC_DCHECK", "CheckFailed",
+    "abort", "exit", "_Exit", "quick_exit", "terminate", "throw",
+}
+
+
+def rule_no_abort_in_service(path: str, tokens: List[Token]) -> List[Finding]:
+    findings = []
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text not in _ABORT_IDS:
+            continue
+        prv = tokens[i - 1] if i > 0 else None
+        if prv is not None and prv.kind == "punct" and prv.text in (".", "->"):
+            continue  # member named e.g. `exit` — not the libc call
+        if prv is not None and prv.kind == "id" and \
+                prv.text not in ("return", "else", "do"):
+            continue  # `void exit();` — a declaration, not a call
+        if tok.text == "throw":
+            findings.append(Finding(
+                path, tok.line, "no-abort-in-service",
+                "'throw' in the status-returning error model; return "
+                "FcStatus::Internal(...) (src/api and src/service promised "
+                "a non-aborting surface in PR 4)"))
+            continue
+        nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+        if nxt is None or not (nxt.kind == "punct" and nxt.text == "("):
+            continue  # mention, not a call/macro invocation
+        findings.append(Finding(
+            path, tok.line, "no-abort-in-service",
+            f"'{tok.text}' aborts the process; src/api and src/service "
+            f"promised a status-returning error model — return a non-ok "
+            f"FcStatus instead, or suppress with a rationale naming the "
+            f"invariant that makes aborting correct"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule 3: raw-mutex
+# --------------------------------------------------------------------------
+
+_RAW_MUTEX_TYPES = {
+    "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex", "shared_timed_mutex", "lock_guard", "unique_lock",
+    "scoped_lock", "shared_lock", "condition_variable",
+    "condition_variable_any", "call_once", "once_flag",
+}
+_RAW_MUTEX_INCLUDES = {"mutex", "shared_mutex", "condition_variable"}
+
+
+def rule_raw_mutex(path: str, tokens: List[Token],
+                   includes: List[Tuple[int, str, bool]]) -> List[Finding]:
+    findings = []
+    for line, inc, angled in includes:
+        if angled and inc in _RAW_MUTEX_INCLUDES:
+            findings.append(Finding(
+                path, line, "raw-mutex",
+                f"#include <{inc}> outside src/common/mutex.h; use the "
+                f"annotated Mutex/MutexLock/CondVar wrappers so the clang "
+                f"thread-safety analysis can see every lock"))
+    for i in range(len(tokens) - 2):
+        if (tokens[i].kind == "id" and tokens[i].text == "std" and
+                tokens[i + 1].kind == "punct" and tokens[i + 1].text == "::"
+                and tokens[i + 2].kind == "id" and
+                tokens[i + 2].text in _RAW_MUTEX_TYPES):
+            findings.append(Finding(
+                path, tokens[i].line, "raw-mutex",
+                f"raw 'std::{tokens[i + 2].text}' outside src/common/mutex.h; "
+                f"use the annotated wrappers (Mutex, MutexLock, CondVar) — "
+                f"raw primitives are invisible to -Wthread-safety"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule 4: nondeterministic-iteration
+# --------------------------------------------------------------------------
+
+_UNORDERED_TYPES = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+}
+
+
+def _collect_unordered_vars(tokens: List[Token]) -> Tuple[Set[str], Set[str]]:
+    """(variable names, type alias names) of unordered container types."""
+    type_names = set(_UNORDERED_TYPES)
+    var_names: Set[str] = set()
+    # Two passes so aliases declared after use still count.
+    for _ in range(2):
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok.kind == "id" and tok.text in type_names:
+                # Skip std:: qualifier handling — we matched the base name.
+                j = i + 1
+                if j < len(tokens) and tokens[j].kind == "punct" and \
+                        tokens[j].text == "<":
+                    depth = 0
+                    while j < len(tokens):
+                        t = tokens[j]
+                        if t.kind == "punct":
+                            if t.text == "<":
+                                depth += 1
+                            elif t.text == ">":
+                                depth -= 1
+                                if depth == 0:
+                                    break
+                            elif t.text == ">>":
+                                depth -= 2
+                                if depth <= 0:
+                                    break
+                        j += 1
+                    j += 1
+                while j < len(tokens) and tokens[j].kind == "punct" and \
+                        tokens[j].text in ("&", "*"):
+                    j += 1
+                if j < len(tokens) and tokens[j].kind == "id":
+                    nxt = tokens[j + 1] if j + 1 < len(tokens) else None
+                    if nxt is not None and nxt.kind == "punct" and \
+                            nxt.text in (";", "=", "{", "(", ",", ")"):
+                        var_names.add(tokens[j].text)
+                # Alias: using NAME = std::unordered_map<...>;
+                if i >= 3 and tokens[i - 3].kind == "id" and \
+                        tokens[i - 3].text not in ("std",):
+                    pass
+            if tok.kind == "id" and tok.text == "using" and \
+                    i + 2 < len(tokens) and tokens[i + 1].kind == "id" and \
+                    tokens[i + 2].kind == "punct" and \
+                    tokens[i + 2].text == "=":
+                # using X = ... unordered_map ... ;
+                k = i + 3
+                is_unordered = False
+                while k < len(tokens) and tokens[k].text != ";":
+                    if tokens[k].kind == "id" and \
+                            tokens[k].text in _UNORDERED_TYPES:
+                        is_unordered = True
+                    k += 1
+                if is_unordered:
+                    type_names.add(tokens[i + 1].text)
+            i += 1
+    return var_names, type_names
+
+
+def rule_nondeterministic_iteration(path: str,
+                                    tokens: List[Token]) -> List[Finding]:
+    findings = []
+    var_names, _ = _collect_unordered_vars(tokens)
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        # Range-for whose range expression ends in a tracked variable:
+        # for ( ... : <expr ending in NAME> )
+        if tok.kind == "id" and tok.text == "for" and i + 1 < n and \
+                tokens[i + 1].text == "(":
+            depth = 0
+            colon = None
+            j = i + 1
+            while j < n:
+                t = tokens[j]
+                if t.kind == "punct":
+                    if t.text == "(":
+                        depth += 1
+                    elif t.text == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif t.text == ":" and depth == 1 and colon is None:
+                        colon = j
+                j += 1
+            close = j
+            if colon is not None and close < n:
+                last = tokens[close - 1]
+                if last.kind == "id" and last.text in var_names:
+                    findings.append(Finding(
+                        path, tok.line, "nondeterministic-iteration",
+                        f"range-for over unordered container '{last.text}': "
+                        f"iteration order is nondeterministic and can leak "
+                        f"into results, breaking the bit-reproducibility "
+                        f"contract; iterate a sorted copy (or suppress with "
+                        f"a rationale naming the order-insensitive sink)"))
+        # NAME.begin() / cbegin / rbegin on a tracked variable.
+        if tok.kind == "id" and tok.text in var_names and i + 3 < n and \
+                tokens[i + 1].text == "." and tokens[i + 2].kind == "id" and \
+                tokens[i + 2].text in ("begin", "cbegin", "rbegin") and \
+                tokens[i + 3].text == "(":
+            prv = tokens[i - 1] if i > 0 else None
+            if prv is not None and prv.kind == "punct" and \
+                    prv.text in (".", "->", "::"):
+                continue
+            findings.append(Finding(
+                path, tok.line, "nondeterministic-iteration",
+                f"iterator over unordered container '{tok.text}': iteration "
+                f"order is nondeterministic and can leak into results; "
+                f"iterate a sorted copy (or suppress with a rationale "
+                f"naming the order-insensitive sink)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule 5: banned-entropy
+# --------------------------------------------------------------------------
+
+_ENTROPY_TYPES = {
+    "random_device", "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+    "default_random_engine", "ranlux24", "ranlux48", "knuth_b",
+    "system_clock", "steady_clock", "high_resolution_clock",
+}
+_ENTROPY_CALLS = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "srand48",
+    "random", "srandom", "time", "clock", "gettimeofday", "clock_gettime",
+    "timespec_get",
+}
+_ENTROPY_INCLUDES = {"random"}
+
+
+def rule_banned_entropy(path: str, tokens: List[Token],
+                        includes: List[Tuple[int, str, bool]]) -> List[Finding]:
+    findings = []
+    for line, inc, angled in includes:
+        if angled and inc in _ENTROPY_INCLUDES:
+            findings.append(Finding(
+                path, line, "banned-entropy",
+                "#include <random> in algorithm code; all randomness must "
+                "flow through the seeded Rng (src/common/rng.h) so results "
+                "are reproducible from a single seed"))
+    n = len(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        prv = tokens[i - 1] if i > 0 else None
+        member = prv is not None and prv.kind == "punct" and \
+            prv.text in (".", "->")
+        if tok.text in _ENTROPY_TYPES and not member:
+            what = "wall-clock source" if "clock" in tok.text else \
+                "entropy source"
+            findings.append(Finding(
+                path, tok.line, "banned-entropy",
+                f"'{tok.text}' is a nondeterministic {what}; use the seeded "
+                f"Rng (src/common/rng.h) for randomness and Timer "
+                f"(src/common/timer.h) for diagnostics-only timing"))
+            continue
+        if tok.text in _ENTROPY_CALLS and not member and i + 1 < n and \
+                tokens[i + 1].kind == "punct" and tokens[i + 1].text == "(":
+            # `now(` reached via Clock::now is covered by the type names
+            # above; plain calls like time(nullptr), rand() land here.
+            findings.append(Finding(
+                path, tok.line, "banned-entropy",
+                f"call to '{tok.text}()' in algorithm code; randomness must "
+                f"come from the seeded Rng and timing from Timer "
+                f"(diagnostics/bench allowlist only)"))
+        if tok.text == "now" and prv is not None and prv.kind == "punct" and \
+                prv.text == "::" and i + 1 < n and \
+                tokens[i + 1].text == "(":
+            findings.append(Finding(
+                path, tok.line, "banned-entropy",
+                "'::now()' reads the wall clock; timing belongs in Timer "
+                "(src/common/timer.h) and the diagnostics/bench allowlist"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule 6: umbrella-include
+# --------------------------------------------------------------------------
+
+# The per-method compression headers PR 4 made internal: bench/ and
+# examples/ must reach every coreset method through the facade.
+_METHOD_HEADERS = re.compile(
+    r"^src/(core/(uniform_sampling|lightweight_coreset|welterweight_coreset|"
+    r"sensitivity_sampling|fast_coreset|group_sampling)|"
+    r"streaming/(bico|streamkm))\.h$")
+
+
+def rule_umbrella_include(path: str,
+                          includes: List[Tuple[int, str, bool]]) -> List[Finding]:
+    findings = []
+    for line, inc, angled in includes:
+        if not angled and _METHOD_HEADERS.match(inc):
+            findings.append(Finding(
+                path, line, "umbrella-include",
+                f'#include "{inc}" is a per-method compression header, '
+                f"internal since PR 4; include \"src/api/fastcoreset.h\" "
+                f"and go through api::Build / the registry instead"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule table: id -> (scope predicate, runner docstring)
+# --------------------------------------------------------------------------
+
+
+def _scope_status_value(p: str) -> bool:
+    return (_under(p, ["src/api", "src/service"]) or
+            (_under(p, ["tools"]) and not _under(p, ["tools/lint"])))
+
+
+def _scope_no_abort(p: str) -> bool:
+    return _under(p, ["src/api", "src/service"])
+
+
+def _scope_raw_mutex(p: str) -> bool:
+    return _under(p, ["src", "tools", "bench", "examples"]) and \
+        p != "src/common/mutex.h" and not _under(p, ["tools/lint"])
+
+
+def _scope_nondet_iter(p: str) -> bool:
+    return _under(p, ["src", "tools"]) and not _under(p, ["tools/lint"])
+
+
+def _scope_entropy(p: str) -> bool:
+    return _under(p, ["src", "tools"]) and p != "src/common/timer.h" and \
+        not _under(p, ["tools/lint"])
+
+
+def _scope_umbrella(p: str) -> bool:
+    return _under(p, ["bench", "examples"])
+
+
+RULES: Dict[str, Dict[str, object]] = {
+    "status-value-unchecked": {
+        "scope": _scope_status_value,
+        "doc": "FcStatusOr .value()/operator*/-> with no dominating .ok() "
+               "guard in the enclosing function (src/api, src/service, "
+               "tools).",
+    },
+    "no-abort-in-service": {
+        "scope": _scope_no_abort,
+        "doc": "FC_CHECK/abort/throw/exit in the status-returning layers "
+               "(src/api, src/service).",
+    },
+    "raw-mutex": {
+        "scope": _scope_raw_mutex,
+        "doc": "std::mutex & friends outside src/common/mutex.h (the "
+               "annotated-locking discipline).",
+    },
+    "nondeterministic-iteration": {
+        "scope": _scope_nondet_iter,
+        "doc": "Iteration over unordered_{map,set} in src/ and tools/ "
+               "(order can leak into results).",
+    },
+    "banned-entropy": {
+        "scope": _scope_entropy,
+        "doc": "rand/random_device/mt19937/time/chrono-now outside Timer "
+               "and the seeded Rng.",
+    },
+    "umbrella-include": {
+        "scope": _scope_umbrella,
+        "doc": "bench/ and examples/ including per-method compression "
+               "headers instead of src/api/fastcoreset.h.",
+    },
+    # bad-suppression is emitted by the suppression parser itself; it is
+    # listed so allow(bad-suppression) is rejected as self-referential.
+}
+
+KNOWN_RULES: Set[str] = set(RULES.keys())
+
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?:"([^"]+)"|<([^>]+)>)')
+
+
+def extract_includes(stripped: str) -> List[Tuple[int, str, bool]]:
+    out = []
+    for idx, line in enumerate(stripped.split("\n"), start=1):
+        m = _INCLUDE_RE.match(line)
+        if m:
+            if m.group(1) is not None:
+                out.append((idx, m.group(1), False))
+            else:
+                out.append((idx, m.group(2), True))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def lint_file(rel_path: str, text: str, engine: str,
+              abs_path: str, active_rules: Set[str]) -> List[Finding]:
+    lex = lex_builtin(text)
+    if engine == "clang":
+        tokens = lex_clang(abs_path, text)
+    else:
+        tokens = lex.tokens
+    includes = extract_includes(lex.stripped)
+    sup = parse_suppressions(rel_path, lex, KNOWN_RULES)
+
+    findings: List[Finding] = list(sup.findings)
+    rule_runners = {
+        "status-value-unchecked":
+            lambda: rule_status_value_unchecked(rel_path, tokens),
+        "no-abort-in-service":
+            lambda: rule_no_abort_in_service(rel_path, tokens),
+        "raw-mutex": lambda: rule_raw_mutex(rel_path, tokens, includes),
+        "nondeterministic-iteration":
+            lambda: rule_nondeterministic_iteration(rel_path, tokens),
+        "banned-entropy":
+            lambda: rule_banned_entropy(rel_path, tokens, includes),
+        "umbrella-include": lambda: rule_umbrella_include(rel_path, includes),
+    }
+    for rule_id, runner in rule_runners.items():
+        if rule_id not in active_rules:
+            continue
+        if not RULES[rule_id]["scope"](rel_path):  # type: ignore[operator]
+            continue
+        for f in runner():
+            if f.rule in sup.by_line.get(f.line, set()):
+                f.suppressed = True
+            findings.append(f)
+    return [f for f in findings if not f.suppressed]
+
+
+_SOURCE_EXTS = (".h", ".cc", ".cpp", ".hpp")
+_SKIP_DIRS = {"build", ".git", "fixtures", "fuzz_corpus", "_deps"}
+
+
+def collect_files(root: str, roots: Sequence[str]) -> List[str]:
+    out: List[str] = []
+    for r in roots:
+        base = os.path.join(root, r)
+        if os.path.isfile(base):
+            out.append(os.path.relpath(base, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+            for fn in sorted(filenames):
+                if fn.endswith(_SOURCE_EXTS):
+                    out.append(os.path.relpath(os.path.join(dirpath, fn),
+                                               root))
+    return sorted(set(p.replace(os.sep, "/") for p in out))
+
+
+def files_from_compile_commands(root: str, cc_path: str) -> List[str]:
+    with open(cc_path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    out = []
+    for entry in db:
+        p = os.path.normpath(
+            os.path.join(entry.get("directory", root), entry["file"]))
+        rel = os.path.relpath(p, root).replace(os.sep, "/")
+        if not rel.startswith(".."):
+            out.append(rel)
+    return sorted(set(out))
+
+
+def run_lint(root: str, files: Sequence[str], engine: str,
+             baseline: Dict[Tuple[str, str], int],
+             active_rules: Set[str]) -> Tuple[List[Finding], List[Finding]]:
+    """Returns (blocking findings, baselined findings)."""
+    blocking: List[Finding] = []
+    baselined: List[Finding] = []
+    remaining = dict(baseline)
+    for rel in files:
+        abs_path = os.path.join(root, rel)
+        try:
+            with open(abs_path, "r", encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"fc_lint: cannot read {rel}: {e}", file=sys.stderr)
+            continue
+        for finding in lint_file(rel, text, engine, abs_path, active_rules):
+            key = (finding.path, finding.rule)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                finding.baselined = True
+                baselined.append(finding)
+            else:
+                blocking.append(finding)
+    return blocking, baselined
+
+
+# --------------------------------------------------------------------------
+# Selftest over the fixture corpus
+# --------------------------------------------------------------------------
+
+
+def run_selftest(engine: str) -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    fixture_dir = os.path.join(here, "fixtures")
+    manifest_path = os.path.join(fixture_dir, "manifest.json")
+    with open(manifest_path, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+
+    failures = 0
+    fired_rules: Set[str] = set()
+    clean_rules: Set[str] = set()
+    for case in manifest["cases"]:
+        fixture = os.path.join(fixture_dir, case["file"])
+        virtual = case["path"]
+        with open(fixture, "r", encoding="utf-8") as f:
+            text = f.read()
+        got = lint_file(virtual, text, engine, fixture, KNOWN_RULES)
+        got_set = sorted((f.rule, f.line) for f in got)
+        want_set = sorted((e["rule"], e["line"]) for e in case["expect"])
+        for rule in case.get("exercises", []):
+            if any(r == rule for r, _ in want_set):
+                fired_rules.add(rule)
+            else:
+                clean_rules.add(rule)
+        if got_set != want_set:
+            failures += 1
+            print(f"FAIL {case['file']} (as {virtual})")
+            print(f"  expected: {want_set}")
+            print(f"  got:      {got_set}")
+            for f_ in got:
+                print(f"    {f_.render()}")
+        else:
+            print(f"ok   {case['file']} ({len(want_set)} findings)")
+
+    # Corpus completeness: every rule must have at least one firing and one
+    # non-firing fixture, so a rule can neither silently die nor
+    # over-trigger without the selftest noticing.
+    for rule in sorted(KNOWN_RULES | {"bad-suppression"}):
+        if rule not in fired_rules:
+            failures += 1
+            print(f"FAIL corpus: rule '{rule}' has no firing fixture")
+        if rule not in clean_rules:
+            failures += 1
+            print(f"FAIL corpus: rule '{rule}' has no non-firing fixture")
+
+    if failures:
+        print(f"fc_lint selftest: {failures} failure(s)")
+        return 1
+    print(f"fc_lint selftest: all {len(manifest['cases'])} fixtures pass "
+          f"({engine} engine)")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# main
+# --------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fc_lint.py",
+        description="Project-invariant static analyzer for fastcoreset.")
+    parser.add_argument("roots", nargs="*", default=[],
+                        help="directories/files to lint, relative to --root "
+                             "(default: src tools bench examples)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up from "
+                             "this script)")
+    parser.add_argument("--engine", choices=["auto", "builtin", "clang"],
+                        default="auto",
+                        help="token engine; auto uses libclang when the "
+                             "python bindings are importable")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json; lints the TUs it lists "
+                             "(headers still come from the roots)")
+    parser.add_argument("--baseline", default=None,
+                        help="JSON baseline of grandfathered findings")
+    parser.add_argument("--write-baseline", default=None,
+                        help="write current findings as a baseline and exit")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rule ids to run")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture corpus and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}\n    {RULES[rule_id]['doc']}")
+        print("bad-suppression\n    fc-lint allow() without a written "
+              "rationale, or naming an unknown rule.")
+        return 0
+
+    engine = args.engine
+    if engine == "auto":
+        engine = "clang" if clang_available() else "builtin"
+    elif engine == "clang" and not clang_available():
+        print("fc_lint: --engine clang requested but the libclang python "
+              "bindings are not available", file=sys.stderr)
+        return 2
+
+    if args.selftest:
+        return run_selftest(engine)
+
+    root = args.root
+    if root is None:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+    root = os.path.abspath(root)
+
+    active_rules = KNOWN_RULES
+    if args.rules:
+        active_rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = active_rules - KNOWN_RULES
+        if unknown:
+            print(f"fc_lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    roots = args.roots or ["src", "tools", "bench", "examples"]
+    files = collect_files(root, roots)
+    if args.compile_commands:
+        tu_files = files_from_compile_commands(root, args.compile_commands)
+        headers = [f for f in files if f.endswith((".h", ".hpp"))]
+        files = sorted(set(tu_files) | set(headers))
+
+    baseline = load_baseline(args.baseline)
+    blocking, baselined = run_lint(root, files, engine, baseline,
+                                   active_rules)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, blocking)
+        print(f"fc_lint: wrote {len(blocking)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    for f in blocking:
+        print(f.render())
+    stale = sum(c for c in baseline.values()) - len(baselined)
+    summary = (f"fc_lint ({engine} engine): {len(files)} files, "
+               f"{len(blocking)} finding(s), {len(baselined)} baselined")
+    if baseline and stale > 0:
+        summary += f", {stale} stale baseline entr(y/ies) — burn them down"
+    print(summary)
+    return 1 if blocking else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

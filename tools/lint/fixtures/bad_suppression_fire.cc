@@ -1,0 +1,25 @@
+// Fixture: bad-suppression MUST fire — every allow() needs a written
+// rationale and a known rule id, otherwise the suppression itself errors.
+// Linted as src/service/bad_suppression_fire.cc.
+#include "src/api/status.h"
+
+namespace fastcoreset::service {
+
+FcStatusOr<int> Lookup(int key);
+
+int MissingRationale() {
+  // fc-lint: allow(status-value-unchecked)
+  return Lookup(1).value();
+}
+
+int EmptyRationale() {
+  // fc-lint: allow(status-value-unchecked):
+  return Lookup(2).value();
+}
+
+int UnknownRule() {
+  // fc-lint: allow(status-value-uncheked): typo'd rule ids must not silently suppress nothing
+  return Lookup(3).value();
+}
+
+}  // namespace fastcoreset::service

@@ -1,0 +1,19 @@
+// Fixture: banned-entropy MUST NOT fire — seeded Rng for randomness.
+// Linted as src/core/entropy_clean.cc.
+#include "src/common/rng.h"
+
+namespace fastcoreset {
+
+double DeterministicDraw(uint64_t seed) {
+  Rng rng(seed);
+  return rng.UniformDouble();
+}
+
+// A member named `time` is not the libc call.
+struct Sample {
+  double time;
+};
+
+double ReadTime(const Sample& s) { return s.time; }
+
+}  // namespace fastcoreset

@@ -1,0 +1,21 @@
+// Fixture: banned-entropy MUST fire.
+// Linted as src/core/entropy_fire.cc.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fastcoreset {
+
+double JitterSeed() {
+  std::random_device dev;  // line 10: hardware entropy
+  std::mt19937 gen(dev());  // line 11: unseeded-from-Rng engine
+  return static_cast<double>(gen());
+}
+
+long WallClockSalt() {
+  auto t = std::chrono::steady_clock::now();  // line 16 (two findings)
+  (void)t;
+  return rand();  // line 18: libc rand
+}
+
+}  // namespace fastcoreset

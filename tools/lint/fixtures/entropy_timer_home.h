@@ -1,0 +1,26 @@
+// Fixture: the Timer abstraction is the one place in src/ allowed to read
+// the wall clock — the path allowlist must hold. MUST NOT fire.
+// Linted as src/common/timer.h.
+#ifndef FIXTURE_ENTROPY_TIMER_HOME_H_
+#define FIXTURE_ENTROPY_TIMER_HOME_H_
+
+#include <chrono>
+
+namespace fastcoreset {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedSeconds() const {
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fastcoreset
+
+#endif  // FIXTURE_ENTROPY_TIMER_HOME_H_

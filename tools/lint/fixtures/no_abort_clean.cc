@@ -1,0 +1,27 @@
+// Fixture: no-abort-in-service MUST NOT fire.
+// Linted as src/service/no_abort_clean.cc.
+#include "src/api/status.h"
+
+namespace fastcoreset::service {
+
+FcStatus HandleBadRequest(int n) {
+  if (n < 0) {
+    return FcStatus::InvalidArgument("n must be non-negative");
+  }
+  // A multi-line rationale: the suppression covers the next *code* line,
+  // skipping its own continuation comments.
+  // fc-lint: allow(no-abort-in-service): registration happens once at
+  // static-init time; a duplicate name is a programmer error, not a
+  // request error.
+  FC_CHECK(n != 1'000'000);
+  return FcStatus::Ok();
+}
+
+// A member *named* exit is not the libc call.
+struct Session {
+  void exit();
+};
+
+void Close(Session& s) { s.exit(); }
+
+}  // namespace fastcoreset::service

@@ -1,0 +1,24 @@
+// Fixture: no-abort-in-service MUST fire.
+// Linted as src/service/no_abort_fire.cc.
+#include "src/common/check.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fastcoreset::service {
+
+int HandleBadRequest(int n) {
+  FC_CHECK(n >= 0);  // line 11: aborts on a *request* error
+  if (n > 100) {
+    throw std::runtime_error("too big");  // line 13: throw
+  }
+  if (n == 42) {
+    std::abort();  // line 16: abort
+  }
+  if (n == 7) {
+    exit(1);  // line 19: exit
+  }
+  return n;
+}
+
+}  // namespace fastcoreset::service

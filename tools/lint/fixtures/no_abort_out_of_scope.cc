@@ -1,0 +1,13 @@
+// Fixture: FC_CHECK outside src/api and src/service is fine — algorithm
+// code may assert its own invariants. MUST NOT fire.
+// Linted as src/core/no_abort_out_of_scope.cc.
+#include "src/common/check.h"
+
+namespace fastcoreset {
+
+double Kernel(int n) {
+  FC_CHECK_GT(n, 0);
+  return 1.0 / n;
+}
+
+}  // namespace fastcoreset

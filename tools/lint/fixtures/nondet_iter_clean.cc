@@ -1,0 +1,40 @@
+// Fixture: nondeterministic-iteration MUST NOT fire.
+// Linted as src/spread/nondet_iter_clean.cc.
+#include <algorithm>
+#include <cstdint>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fastcoreset {
+
+// Lookup and insertion only — no iteration, order never observed.
+int32_t IdFor(std::unordered_map<uint64_t, int32_t>& ids, uint64_t key) {
+  auto [it, inserted] = ids.try_emplace(key, static_cast<int32_t>(ids.size()));
+  return it->second;
+}
+
+// An order-insensitive sink (count), with the required rationale.
+size_t CountDistinct(const std::unordered_set<uint64_t>& seen) {
+  size_t n = 0;
+  // fc-lint: allow(nondeterministic-iteration): the loop only increments a counter, which is invariant under iteration order
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    ++n;
+  }
+  return n;
+}
+
+// The blessed pattern: copy out, sort, then iterate deterministically.
+std::vector<uint64_t> SortedKeys(const std::unordered_set<uint64_t>& seen) {
+  std::vector<uint64_t> keys(seen.size());
+  size_t i = 0;
+  // fc-lint: allow(nondeterministic-iteration): keys are sorted immediately below before any order-sensitive use
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    keys[i++] = *it;
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,28 @@
+// Fixture: nondeterministic-iteration MUST fire.
+// Linted as src/spread/nondet_iter_fire.cc.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fastcoreset {
+
+using BoxIds = std::unordered_map<uint64_t, int32_t>;
+
+std::vector<int32_t> CollectIds(const BoxIds& boxes) {
+  std::vector<int32_t> out;
+  for (const auto& kv : boxes) {  // line 14: order leaks into `out`
+    out.push_back(kv.second);
+  }
+  return out;
+}
+
+int64_t SumKeys(const std::unordered_set<uint64_t>& seen) {
+  int64_t sum = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // line 22
+    sum += static_cast<int64_t>(*it);
+  }
+  return sum;
+}
+
+}  // namespace fastcoreset

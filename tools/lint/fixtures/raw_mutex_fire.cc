@@ -1,0 +1,15 @@
+// Fixture: raw-mutex MUST fire.
+// Linted as src/service/raw_mutex_fire.cc.
+#include <mutex>
+
+namespace fastcoreset::service {
+
+std::mutex g_lock;  // line 7
+
+int Counted() {
+  static int count = 0;
+  std::lock_guard<std::mutex> hold(g_lock);  // line 11 (two findings)
+  return ++count;
+}
+
+}  // namespace fastcoreset::service

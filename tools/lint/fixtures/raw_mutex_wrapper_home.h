@@ -1,0 +1,23 @@
+// Fixture: the wrapper header itself is the one place raw primitives are
+// allowed — the path exemption must hold. MUST NOT fire.
+// Linted as src/common/mutex.h.
+#ifndef FIXTURE_RAW_MUTEX_WRAPPER_HOME_H_
+#define FIXTURE_RAW_MUTEX_WRAPPER_HOME_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fastcoreset {
+
+class Mutex {
+ public:
+  void Lock() { mu_.lock(); }
+  void Unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace fastcoreset
+
+#endif  // FIXTURE_RAW_MUTEX_WRAPPER_HOME_H_

@@ -1,0 +1,38 @@
+// Fixture: status-value-unchecked MUST NOT fire.
+// Linted as src/service/status_value_clean.cc.
+#include "src/api/status.h"
+
+namespace fastcoreset {
+
+FcStatusOr<int> Lookup(int key);
+
+int EarlyReturnGuard() {
+  FcStatusOr<int> got = Lookup(3);
+  if (!got.ok()) return -1;
+  return got.value();
+}
+
+int ReGuardAfterReassign(bool flip) {
+  FcStatusOr<int> got = Lookup(1);
+  if (!got.ok()) return -1;
+  if (flip) {
+    got = Lookup(2);
+    if (!got.ok()) return -2;
+  }
+  return got.value();
+}
+
+int AutoWithEvidence() {
+  // `auto` declaration: tracked via the .ok() evidence heuristic (the
+  // protocol.cc HandleStats shape), and the guard dominates the use.
+  const auto entry = Lookup(9);
+  if (!entry.ok()) return 0;
+  return *entry;
+}
+
+int SuppressedChain() {
+  // fc-lint: allow(status-value-unchecked): key was bound two lines up under the same lock, so the second resolve cannot miss
+  return Lookup(7).value();
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,38 @@
+// Fixture: status-value-unchecked MUST fire.
+// Linted as src/service/status_value_fire.cc.
+#include "src/api/status.h"
+
+namespace fastcoreset {
+
+FcStatusOr<int> Lookup(int key);
+
+int ChainedValue() {
+  // The PR 6 TOCTOU shape: status checked on one call, value taken from a
+  // *second* call whose status was never looked at.
+  return Lookup(7).value();  // line 12: chained .value()
+}
+
+int UnguardedNamed() {
+  FcStatusOr<int> got = Lookup(3);
+  return got.value();  // line 17: no dominating .ok()
+}
+
+int GuardInvalidatedByReassign(bool flip) {
+  FcStatusOr<int> got = Lookup(1);
+  if (!got.ok()) return -1;
+  if (flip) got = Lookup(2);  // reassignment clears the guard...
+  return got.value();  // line 24: ...so this is unchecked again
+}
+
+struct Thing {
+  int field;
+};
+
+int ArrowUnguarded() {
+  FcStatusOr<Thing*> thing = Lookup2();
+  return thing.value()->field;  // line 33: unguarded .value()
+}
+
+FcStatusOr<Thing*> Lookup2();
+
+}  // namespace fastcoreset

@@ -1,0 +1,19 @@
+// Fixture: the exact PR 6 server-abort TOCTOU, reduced from
+// src/service/protocol.cc HandleRegister. MUST fire.
+// Linted as src/service/toctou_pr6.cc.
+#include "src/service/service.h"
+
+namespace fastcoreset::service {
+
+FcStatus HandleRegisterPr6(DatasetStore& store, const std::string& name) {
+  auto status = store.Contains(name);
+  if (!status.ok()) return status.status();
+  // BUG (the PR 6 shape): between Contains() above and Get() below a
+  // concurrent Remove(name) can unbind the name; Get() then returns
+  // NotFound and .value() aborts the whole server.
+  const DatasetEntry* entry = store.Get(name).value();  // the unguarded resolve
+  (void)entry;
+  return FcStatus::Ok();
+}
+
+}  // namespace fastcoreset::service

@@ -1,0 +1,10 @@
+// Fixture: umbrella-include MUST NOT fire — the facade plus the shared
+// non-method layers (data, eval, common) are all fair game for benches.
+// Linted as bench/umbrella_clean.cc.
+#include "src/api/fastcoreset.h"
+
+#include "src/common/rng.h"
+#include "src/data/synthetic.h"
+#include "src/eval/coreset_cost.h"
+
+int main() { return 0; }

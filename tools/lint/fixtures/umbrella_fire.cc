@@ -1,0 +1,9 @@
+// Fixture: umbrella-include MUST fire — a bench reaching past the facade
+// into per-method compression headers.
+// Linted as bench/umbrella_fire.cc.
+#include "src/core/fast_coreset.h"    // line 4: internal since PR 4
+#include "src/streaming/streamkm.h"   // line 5: internal since PR 4
+
+#include "src/api/fastcoreset.h"
+
+int main() { return 0; }

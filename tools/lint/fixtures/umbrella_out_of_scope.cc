@@ -1,0 +1,7 @@
+// Fixture: src/ files may include the per-method headers freely — the
+// umbrella rule only binds bench/ and examples/. MUST NOT fire.
+// Linted as src/api/umbrella_out_of_scope.cc.
+#include "src/core/fast_coreset.h"
+#include "src/streaming/bico.h"
+
+namespace fastcoreset {}
