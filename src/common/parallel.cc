@@ -68,6 +68,12 @@ ChunkPlan PlanChunks(size_t n) {
 // it can provide.
 thread_local bool tls_in_parallel_region = false;
 
+// Per-thread executor cap installed by ParallelBudgetScope. Dispatches
+// from this thread request at most this many executors; the task-graph
+// tier uses it to hand each concurrent coarse task a slice of the
+// worker budget. SIZE_MAX = uncapped.
+thread_local size_t tls_executor_budget = SIZE_MAX;
+
 void RunSerial(size_t n, const ChunkPlan& plan,
                const std::function<void(size_t, size_t, size_t)>& body) {
   for (size_t c = 0; c < plan.chunks; ++c) {
@@ -81,9 +87,12 @@ void RunSerial(size_t n, const ChunkPlan& plan,
 // Persistent pool. Workers are spawned lazily on the first dispatch that
 // wants them, park on a condition variable between dispatches, and are
 // joined either explicitly (ShutdownThreadPool) or by the singleton's
-// destructor at process exit. A dispatch publishes one Task; the caller
-// participates as executor 0, so a pool of W threads serves
-// GetNumThreads() == W + 1.
+// destructor at process exit. Any number of dispatches may be in flight
+// at once: each publishes its own Task (one executor group with its own
+// chunk queues), the dispatcher always participates as its task's
+// executor 0, and parked workers engage whichever task is still short of
+// its requested executor count — so concurrent dispatchers partition the
+// workers instead of serializing behind a single dispatch slot.
 class ThreadPool {
  public:
   static ThreadPool& Instance() {
@@ -95,27 +104,10 @@ class ThreadPool {
 
   // Executes `body` over the fixed chunk plan with up to `executors`
   // concurrent executors (the calling thread plus pool workers). Blocks
-  // until every chunk has run.
+  // until every chunk has run. Safe to call from any number of
+  // application threads at once.
   void Run(size_t n, const ChunkPlan& plan, size_t executors,
            const std::function<void(size_t, size_t, size_t)>& body) {
-    // One dispatch owns the pool at a time: a concurrent dispatcher must
-    // not overwrite task_ (its chunks would silently run undistributed).
-    // A second application thread dispatching mid-flight just runs its
-    // own chunks inline — correct, serial, and contention-free.
-    if (!dispatch_mutex_.TryLock()) {
-      RunSerial(n, plan, body);
-      return;
-    }
-    Dispatch(n, plan, executors, body);
-    dispatch_mutex_.Unlock();
-  }
-
- private:
-  // The locked half of Run: publishes one Task, executes as executor 0,
-  // and waits for completion.
-  void Dispatch(size_t n, const ChunkPlan& plan, size_t executors,
-                const std::function<void(size_t, size_t, size_t)>& body)
-      FC_REQUIRES(dispatch_mutex_) {
     Task task;
     task.body = &body;
     task.n = n;
@@ -137,9 +129,13 @@ class ThreadPool {
 
     {
       MutexLock lock(mutex_);
-      EnsureWorkersLocked(executors - 1);
-      task_ = &task;
-      ++epoch_;
+      tasks_.push_back(&task);
+      // Grow toward the total deficit across every in-flight task, so a
+      // second concurrent dispatch gets real workers instead of starving
+      // behind the first one's group.
+      size_t deficit = 0;
+      for (const Task* t : tasks_) deficit += t->num_queues - 1;
+      EnsureWorkersLocked(deficit);
     }
     work_cv_.NotifyAll();
 
@@ -150,10 +146,13 @@ class ThreadPool {
              task.active.load(std::memory_order_acquire) == 0)) {
       done_cv_.Wait(mutex_);
     }
-    task_ = nullptr;
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i] == &task) {
+        tasks_.erase(tasks_.begin() + i);
+        break;
+      }
+    }
   }
-
- public:
   void Shutdown() {
     std::vector<std::thread> workers;
     {
@@ -190,7 +189,29 @@ class ThreadPool {
     size_t num_queues = 0;
     std::atomic<size_t> remaining{0};  // Chunks not yet finished.
     std::atomic<size_t> active{0};     // Executors currently inside Execute.
+    size_t next_home = 0;  // Home-queue rotation; touched under mutex_ only.
   };
+
+  // First in-flight task a worker can still help: short of its requested
+  // executor count AND with unclaimed chunks left. Queue `next` counters
+  // only grow, so a task whose queues are drained can never be picked —
+  // which is also what makes engagement safe against Task teardown: a
+  // pick implies remaining > 0, so the task's dispatcher is still parked
+  // in Run() waiting for completion.
+  Task* PickTaskLocked() FC_REQUIRES(mutex_) {
+    for (Task* task : tasks_) {
+      if (task->active.load(std::memory_order_relaxed) >= task->num_queues) {
+        continue;
+      }
+      for (size_t q = 0; q < task->num_queues; ++q) {
+        if (task->queues[q].next.load(std::memory_order_relaxed) <
+            task->queues[q].end) {
+          return task;
+        }
+      }
+    }
+    return nullptr;
+  }
 
   void EnsureWorkersLocked(size_t target) FC_REQUIRES(mutex_) {
     target = std::min(target, kMaxEnvThreads - 1);
@@ -203,32 +224,23 @@ class ThreadPool {
     // Pool threads are executors by definition: any substrate call made
     // from a chunk body must run inline (see tls_in_parallel_region).
     tls_in_parallel_region = true;
-    uint64_t seen_epoch = 0;
     size_t home_queue = 0;
     for (;;) {
       Task* task = nullptr;
       {
         MutexLock lock(mutex_);
-        while (!(stopping_ || (epoch_ != seen_epoch && task_ != nullptr))) {
+        while (!stopping_ && (task = PickTaskLocked()) == nullptr) {
           work_cv_.Wait(mutex_);
         }
         if (stopping_) return;
-        seen_epoch = epoch_;
-        task = task_;
-        // Engage only while the task is short of its requested executor
-        // count (one queue per executor, dispatcher included): a pool
-        // grown for an earlier SetNumThreads(8) dispatch must not throw
-        // all 7 workers at a later 2-executor task. Skipping still
-        // consumes the epoch, so decliners park until the next dispatch.
-        if (task->active.load(std::memory_order_relaxed) >=
-            task->num_queues) {
-          continue;
-        }
-        // The active count must rise under the mutex: Run() clears task_
-        // only while holding it, so a worker either engages before the
-        // dispatcher can retire the task or never sees it at all.
+        // The active count must rise under the mutex: Run() removes its
+        // task from tasks_ only while holding it, so a worker either
+        // engages a still-live task or never sees it at all. PickTask
+        // caps engagement at num_queues executors (one queue each,
+        // dispatcher included): a pool grown for an earlier 8-executor
+        // dispatch must not throw all 7 workers at a 2-executor task.
         task->active.fetch_add(1, std::memory_order_relaxed);
-        home_queue = (next_home_queue_++ % (task->num_queues - 1)) + 1;
+        home_queue = (task->next_home++ % (task->num_queues - 1)) + 1;
       }
       Execute(*task, home_queue);
     }
@@ -273,14 +285,11 @@ class ThreadPool {
     }
   }
 
-  Mutex dispatch_mutex_;  // Held by the owning dispatcher for a Run.
   Mutex mutex_;
   CondVar work_cv_;  // Workers park here between tasks.
-  CondVar done_cv_;  // Dispatcher waits for completion.
+  CondVar done_cv_;  // Dispatchers wait here for their task's completion.
   std::vector<std::thread> workers_ FC_GUARDED_BY(mutex_);
-  Task* task_ FC_GUARDED_BY(mutex_) = nullptr;
-  uint64_t epoch_ FC_GUARDED_BY(mutex_) = 0;
-  uint64_t next_home_queue_ FC_GUARDED_BY(mutex_) = 0;
+  std::vector<Task*> tasks_ FC_GUARDED_BY(mutex_);  // In-flight dispatches.
   bool stopping_ FC_GUARDED_BY(mutex_) = false;
 };
 
@@ -301,6 +310,20 @@ size_t GetNumThreads() {
   return set == 0 ? EnvDefaultThreads() : set;
 }
 
+size_t MaxParallelism() { return kMaxEnvThreads; }
+
+ParallelBudgetScope::ParallelBudgetScope(size_t max_executors)
+    : previous_(tls_executor_budget) {
+  if (max_executors == 0) max_executors = 1;
+  // Nesting only tightens: an inner scope cannot widen the slice its
+  // caller was handed.
+  tls_executor_budget = std::min(previous_, max_executors);
+}
+
+ParallelBudgetScope::~ParallelBudgetScope() {
+  tls_executor_budget = previous_;
+}
+
 void ShutdownThreadPool() { ThreadPool::Instance().Shutdown(); }
 
 size_t ThreadPoolWorkerCount() { return ThreadPool::Instance().WorkerCount(); }
@@ -313,7 +336,8 @@ void ParallelForChunks(
     size_t n, const std::function<void(size_t, size_t, size_t)>& body) {
   if (n == 0) return;
   const ChunkPlan plan = PlanChunks(n);
-  const size_t executors = std::min(GetNumThreads(), plan.chunks);
+  const size_t executors = std::min(
+      {GetNumThreads(), plan.chunks, tls_executor_budget});
   if (executors <= 1 || tls_in_parallel_region) {
     RunSerial(n, plan, body);
     return;

@@ -17,6 +17,16 @@
 // dispatches and are joined cleanly at process exit (or explicitly via
 // ShutdownThreadPool).
 //
+// The pool serves any number of CONCURRENT dispatches: each in-flight
+// dispatch owns its own executor group (its own set of chunk queues),
+// the dispatcher always participates in its own group, and parked
+// workers join whichever group is still short of its requested executor
+// count. This is what the task-graph tier (src/common/task_graph.h)
+// builds on — N independent coarse tasks each dispatch their inner
+// chunk loops here, capped to a slice of the worker budget via
+// ParallelBudgetScope, so the groups partition the pool instead of
+// serializing behind one dispatch slot.
+//
 // Nested parallelism is safe but serial: a body that itself calls into
 // the substrate runs that inner loop inline on the calling thread — the
 // reentrancy guard keeps a pool worker from ever blocking on a dispatch
@@ -49,6 +59,31 @@ void ResetNumThreads();
 
 /// Current global worker count (>= 1).
 size_t GetNumThreads();
+
+/// Hard upper bound on worker/executor counts accepted anywhere in the
+/// substrate (SetNumThreads, FC_THREADS, parallelism budgets). Requests
+/// above it are clamped by the substrate and should be rejected by
+/// request-validating frontends.
+size_t MaxParallelism();
+
+/// RAII cap on the executor count dispatches from the CURRENT thread may
+/// use: inside the scope, ParallelFor/ParallelReduce/ParallelForChunks
+/// request at most `max_executors` executors (the calling thread plus
+/// pool workers) regardless of GetNumThreads(). A cap of 0 or 1 runs
+/// dispatches inline. Scopes nest; the inner scope may only tighten the
+/// cap. This is how the task-graph tier hands each concurrent coarse
+/// task a slice of the worker budget — chunk geometry is a function of n
+/// alone, so the cap affects scheduling only, never results.
+class ParallelBudgetScope {
+ public:
+  explicit ParallelBudgetScope(size_t max_executors);
+  ~ParallelBudgetScope();
+  ParallelBudgetScope(const ParallelBudgetScope&) = delete;
+  ParallelBudgetScope& operator=(const ParallelBudgetScope&) = delete;
+
+ private:
+  size_t previous_;
+};
 
 /// Joins and discards the persistent pool's worker threads. The next
 /// multi-threaded dispatch re-initializes the pool lazily, so this is

@@ -1,0 +1,120 @@
+#include "src/common/task_graph.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/parallel.h"
+
+namespace fastcoreset {
+
+TaskGraph::TaskId TaskGraph::AddTask(std::function<void()> fn,
+                                     const std::vector<TaskId>& deps) {
+  const TaskId id = tasks_.size();
+  Task task;
+  task.fn = std::move(fn);
+  task.pending_deps = deps.size();
+  for (TaskId dep : deps) {
+    // Edges must point backwards — that is the whole acyclicity proof.
+    FC_CHECK_LT(dep, id);
+  }
+  tasks_.push_back(std::move(task));
+  for (TaskId dep : deps) tasks_[dep].dependents.push_back(id);
+  return id;
+}
+
+TaskGraph::RunStats TaskGraph::Run(size_t parallelism) {
+  // The budget caps how many nodes run CONCURRENTLY; the chunk-tier pool
+  // stays GetNumThreads() wide and is partitioned across whatever nodes
+  // are in flight (see the slice in ExecutorLoop). parallelism = 1 is
+  // therefore the sequential reference walk with each node on the full
+  // pool — exactly the pre-scheduler behavior.
+  const size_t threads = GetNumThreads();
+  const size_t budget =
+      parallelism == 0 ? threads : std::max<size_t>(
+                                       1, std::min(parallelism, threads));
+  {
+    MutexLock lock(mutex_);
+    for (TaskId id = 0; id < tasks_.size(); ++id) {
+      if (tasks_[id].pending_deps == 0) ready_.push_back(id);
+    }
+    // Min-heap on task id: claims happen in id order, so parallelism = 1
+    // walks the graph in exactly the order tasks were added.
+    std::make_heap(ready_.begin(), ready_.end(), std::greater<TaskId>());
+    queue_high_water_ = ready_.size();
+  }
+
+  // One node executor per budget unit, capped by the graph size; the
+  // caller is executor 0 so a budget of 1 spawns no threads at all.
+  const size_t executors = std::min(budget, std::max<size_t>(tasks_.size(), 1));
+  std::vector<std::thread> helpers;
+  helpers.reserve(executors - 1);
+  for (size_t t = 1; t < executors; ++t) {
+    helpers.emplace_back([this, threads] { ExecutorLoop(threads); });
+  }
+  ExecutorLoop(threads);
+  for (std::thread& helper : helpers) helper.join();
+
+  RunStats stats;
+  MutexLock lock(mutex_);
+  stats.tasks_executed = executed_;
+  stats.max_concurrent_tasks = max_concurrent_;
+  stats.queue_high_water = queue_high_water_;
+  stats.parallelism = budget;
+  return stats;
+}
+
+void TaskGraph::ExecutorLoop(size_t pool_width) {
+  for (;;) {
+    TaskId id = 0;
+    size_t running_now = 0;
+    {
+      MutexLock lock(mutex_);
+      // Park until there is a task to claim or the graph has drained.
+      // No third case exists: with edges pointing backwards, the lowest
+      // unexecuted id always has every dependency executed, so whenever
+      // unexecuted tasks remain, one is either ready or running — and a
+      // running task's completion signals this condition variable.
+      while (ready_.empty() && executed_ < tasks_.size()) {
+        ready_cv_.Wait(mutex_);
+      }
+      if (ready_.empty()) return;  // Drained: executed_ == tasks_.size().
+      std::pop_heap(ready_.begin(), ready_.end(), std::greater<TaskId>());
+      id = ready_.back();
+      ready_.pop_back();
+      ++running_;
+      running_now = running_;
+      max_concurrent_ = std::max(max_concurrent_, running_);
+    }
+
+    {
+      // The partition: with R nodes in flight each gets a fair share of
+      // the pool, pool_width / R workers (at least 1 — a node always has
+      // its own thread). When the graph narrows to one running node (a
+      // merge node), the slice widens back to the whole pool.
+      ParallelBudgetScope scope(
+          std::max<size_t>(1, pool_width / running_now));
+      tasks_[id].fn();
+    }
+
+    {
+      MutexLock lock(mutex_);
+      --running_;
+      ++executed_;
+      bool new_ready = false;
+      for (TaskId dependent : tasks_[id].dependents) {
+        if (--tasks_[dependent].pending_deps == 0) {
+          ready_.push_back(dependent);
+          std::push_heap(ready_.begin(), ready_.end(),
+                         std::greater<TaskId>());
+          new_ready = true;
+        }
+      }
+      queue_high_water_ = std::max(queue_high_water_, ready_.size());
+      if (new_ready || executed_ == tasks_.size()) ready_cv_.NotifyAll();
+    }
+  }
+}
+
+}  // namespace fastcoreset

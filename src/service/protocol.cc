@@ -57,6 +57,16 @@ class ObjectWriter {
   bool first_ = true;
 };
 
+/// Top-level response writer: every response line (success or error)
+/// leads with the protocol version. Nested objects (stats sub-blocks)
+/// use a plain ObjectWriter — the version belongs to the line, not to
+/// every object on it.
+ObjectWriter ResponseWriter() {
+  ObjectWriter out;
+  out.Integer("v", kProtocolVersion);
+  return out;
+}
+
 FcStatus TypeError(const char* key, const char* expected) {
   return FcStatus::InvalidArgument("field '" + std::string(key) +
                                    "' must be a " + expected);
@@ -329,7 +339,7 @@ std::string HandleRegister(CoresetService& service, const JsonValue& request) {
       service.datasets().Get(name);
   if (!entry_or.ok()) return ErrorResponse(entry_or.status());
   const std::shared_ptr<const DatasetEntry>& entry = entry_or.value();
-  ObjectWriter out;
+  ObjectWriter out = ResponseWriter();
   out.Bool("ok", true);
   out.String("verb", "register");
   out.String("name", name);
@@ -342,7 +352,7 @@ std::string HandleRegister(CoresetService& service, const JsonValue& request) {
 std::string HandleBuild(CoresetService& service, const JsonValue& request) {
   FcStatus status = CheckAllowedKeys(
       request, {"verb", "dataset", "method", "k", "m", "z", "seed",
-                "options", "shards", "use_cache", "output"});
+                "options", "shards", "parallelism", "use_cache", "output"});
   if (!status.ok()) return ErrorResponse(status);
 
   BuildRequest build;
@@ -356,6 +366,8 @@ std::string HandleBuild(CoresetService& service, const JsonValue& request) {
   if (!spec.ok()) return ErrorResponse(spec.status());
   build.spec = std::move(spec.value());
   if (!(status = ReadSizeT(request, "shards", &build.shards)).ok() ||
+      !(status = ReadSizeT(request, "parallelism", &build.parallelism))
+           .ok() ||
       !(status = ReadBool(request, "use_cache", &build.use_cache)).ok()) {
     return ErrorResponse(status);
   }
@@ -373,12 +385,14 @@ std::string HandleBuild(CoresetService& service, const JsonValue& request) {
         FcStatus::Internal("could not write coreset to '" + output + "'"));
   }
 
-  ObjectWriter out;
+  ObjectWriter out = ResponseWriter();
   out.Bool("ok", true);
   out.String("verb", "build");
   out.String("dataset", build.dataset);
   out.String("cache", diag.cache_status);
   out.Integer("shards", diag.shard_count);
+  // Effective scheduler budget: 0 on a cache hit (no graph ran).
+  out.Integer("parallelism", diag.parallelism_effective);
   out.Integer("rows", coreset.size());
   out.Integer("dims", coreset.points.cols());
   out.Number("total_weight", coreset.TotalWeight());
@@ -386,15 +400,27 @@ std::string HandleBuild(CoresetService& service, const JsonValue& request) {
              FingerprintHex(FingerprintCoreset(coreset)));
   out.Integer("points_processed", diag.points_processed);
   out.Integer("bytes_processed", diag.bytes_processed);
+  // build_seconds is summed shard + merge work; critical_path_seconds is
+  // the graph run's wall clock (they differ when shards overlap).
   out.Number("build_seconds", diag.build_seconds);
+  out.Number("critical_path_seconds", diag.critical_path_seconds);
   out.Number("seconds", diag.total_seconds);
   if (!diag.shards.empty()) {
     std::string shard_seconds = "[";
+    std::string shard_windows = "[";
     for (size_t i = 0; i < diag.shards.size(); ++i) {
-      if (i > 0) shard_seconds += ",";
+      if (i > 0) {
+        shard_seconds += ",";
+        shard_windows += ",";
+      }
       shard_seconds += JsonNumber(diag.shards[i].build.total_seconds);
+      shard_windows += "[" + JsonNumber(diag.shards[i].start_seconds) +
+                       "," + JsonNumber(diag.shards[i].end_seconds) + "]";
     }
     out.Raw("shard_seconds", shard_seconds + "]");
+    // Per-shard [start, end) offsets on the request wall clock;
+    // concurrent shards show overlapping windows.
+    out.Raw("shard_windows", shard_windows + "]");
   }
   if (diag.has_merge) {
     out.Integer("merge_reduce_ops", diag.merge.stream_reduce_ops);
@@ -408,6 +434,13 @@ std::string HandleStats(CoresetService& service, const JsonValue& request) {
   FcStatus status = CheckAllowedKeys(request, {"verb"});
   if (!status.ok()) return ErrorResponse(status);
   const CoresetCache::Stats stats = service.CacheStats();
+  const CoresetService::SchedulerTotals totals = service.SchedulerStats();
+
+  ObjectWriter scheduler;
+  scheduler.Integer("graphs_run", totals.graphs_run);
+  scheduler.Integer("tasks_executed", totals.tasks_executed);
+  scheduler.Integer("max_concurrent_shards", totals.max_concurrent_shards);
+  scheduler.Integer("queue_high_water", totals.queue_high_water);
 
   ObjectWriter cache;
   cache.Integer("hits", stats.hits);
@@ -436,10 +469,12 @@ std::string HandleStats(CoresetService& service, const JsonValue& request) {
   }
   datasets += "]";
 
-  ObjectWriter out;
+  ObjectWriter out = ResponseWriter();
   out.Bool("ok", true);
   out.String("verb", "stats");
+  out.Integer("protocol_version", kProtocolVersion);
   out.Raw("cache", cache.Finish());
+  out.Raw("scheduler", scheduler.Finish());
   out.Raw("datasets", datasets);
   return out.Finish();
 }
@@ -454,7 +489,7 @@ std::string HandleEvict(CoresetService& service, const JsonValue& request) {
   status = ReadString(request, "dataset", &dataset);
   if (!status.ok()) return ErrorResponse(status);
 
-  ObjectWriter out;
+  ObjectWriter out = ResponseWriter();
   if (all ? !dataset.empty() : dataset.empty()) {
     // Exactly one of the two forms, spelled out.
     return ErrorResponse(FcStatus::InvalidArgument(
@@ -501,7 +536,7 @@ FcStatusOr<api::CoresetSpec> SpecFromJson(const JsonValue& request) {
 }
 
 std::string ErrorResponse(const api::FcStatus& status) {
-  ObjectWriter out;
+  ObjectWriter out = ResponseWriter();
   out.Bool("ok", false);
   out.String("code", api::FcErrorCodeName(status.code()));
   out.String("message", status.message());

@@ -7,16 +7,23 @@
 //        "gaussian_mixture","n":5000,"d":8,"kappa":16,"seed":3}}
 //   {"verb":"register","name":"t","points":[[0,0],[1,1],[2,2]]}
 //   {"verb":"build","dataset":"d","method":"fast_coreset","k":10,
-//        "m":400,"seed":1,"shards":4,"options":{"use_jl":false}}
+//        "m":400,"seed":1,"shards":4,"parallelism":2,
+//        "options":{"use_jl":false}}
 //   {"verb":"stats"}
 //   {"verb":"evict","dataset":"d"}        (or {"verb":"evict","all":true})
 //
-// Every response is one JSON object line with an "ok" field; failures
-// carry the FcStatus taxonomy ({"ok":false,"code":"invalid_argument",
-// "message":...}) and never terminate the server. Build responses carry
-// the cache status, shard-aggregated accounting, and a coreset
-// fingerprint (bit-identity witness); pass "output":"path.csv" to also
-// persist the coreset via SaveCoresetCsv. Unknown fields are rejected —
+// Every response is one JSON object line that leads with the protocol
+// version ("v":1 — bump kProtocolVersion on breaking response-shape
+// changes) and carries an "ok" field; failures carry the FcStatus
+// taxonomy ({"v":1,"ok":false,"code":"invalid_argument","message":...})
+// and never terminate the server. Build responses carry the cache
+// status, shard-aggregated accounting, the scheduler's effective
+// parallelism + critical-path wall clock, and a coreset fingerprint
+// (bit-identity witness); "parallelism" caps the task-graph worker
+// budget (0 = all workers) without changing the result. Pass
+// "output":"path.csv" to also persist the coreset via SaveCoresetCsv.
+// The stats verb reports cache counters, registered datasets, and
+// lifetime task-graph scheduler totals. Unknown fields are rejected —
 // a typoed knob must fail loudly, not silently fall back to a default.
 //
 // The marshalling lives in the library (not the tool) so tests drive the
@@ -26,6 +33,7 @@
 #ifndef FASTCORESET_SERVICE_PROTOCOL_H_
 #define FASTCORESET_SERVICE_PROTOCOL_H_
 
+#include <cstdint>
 #include <string>
 
 #include "src/api/spec.h"
@@ -35,6 +43,10 @@
 
 namespace fastcoreset {
 namespace service {
+
+/// Wire-protocol version every response line leads with ("v":1). Bump on
+/// breaking response-shape changes; additive fields keep the version.
+inline constexpr uint64_t kProtocolVersion = 1;
 
 /// Marshals the spec-shaped fields of a request object (method, k, m, z,
 /// seed, options) into a CoresetSpec. Absent fields keep their defaults;

@@ -1,9 +1,11 @@
 #include "src/service/service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <utility>
 
+#include "src/common/parallel.h"
 #include "src/common/timer.h"
 #include "src/service/fingerprint.h"
 #include "src/service/spec_key.h"
@@ -35,6 +37,20 @@ std::string ServiceDiagnostics::ToString() const {
   AppendLine(&out, "dataset_fingerprint", FingerprintHex(dataset_fingerprint));
   AppendLine(&out, "cache", cache_status);
   AppendLine(&out, "shards", std::to_string(shard_count));
+  if (parallelism_effective > 0) {
+    AppendLine(&out, "parallelism",
+               std::to_string(parallelism_effective) + " (requested " +
+                   (parallelism_requested == 0
+                        ? std::string("all")
+                        : std::to_string(parallelism_requested)) +
+                   ")");
+    AppendLine(&out, "scheduler.tasks_executed",
+               std::to_string(scheduler.tasks_executed));
+    AppendLine(&out, "scheduler.max_concurrent_shards",
+               std::to_string(scheduler.max_concurrent_shards));
+    AppendLine(&out, "scheduler.queue_high_water",
+               std::to_string(scheduler.queue_high_water));
+  }
   for (const ShardDiagnostics& shard : shards) {
     const std::string prefix = "shard." + std::to_string(shard.index);
     AppendLine(&out, prefix + ".rows",
@@ -43,6 +59,11 @@ std::string ServiceDiagnostics::ToString() const {
     AppendLine(&out, prefix + ".seed", std::to_string(shard.seed));
     AppendLine(&out, prefix + ".seconds",
                FormatSeconds(shard.build.total_seconds));
+    // The shard node's [start, end) offsets on the request wall clock;
+    // concurrent shards show overlapping windows here.
+    AppendLine(&out, prefix + ".window",
+               FormatSeconds(shard.start_seconds) + ".." +
+                   FormatSeconds(shard.end_seconds));
   }
   if (has_merge) {
     AppendLine(&out, "merge.reduce_ops",
@@ -54,7 +75,12 @@ std::string ServiceDiagnostics::ToString() const {
   }
   AppendLine(&out, "points_processed", std::to_string(points_processed));
   AppendLine(&out, "bytes_processed", std::to_string(bytes_processed));
+  // build_seconds sums per-shard + merge work (CPU-side);
+  // critical_path_seconds is the graph run's wall clock. With concurrent
+  // shards the former exceeds the latter — that gap is the overlap won.
   AppendLine(&out, "build_seconds", FormatSeconds(build_seconds));
+  AppendLine(&out, "critical_path_seconds",
+             FormatSeconds(critical_path_seconds));
   AppendLine(&out, "total_seconds", FormatSeconds(total_seconds));
   return out;
 }
@@ -64,6 +90,12 @@ api::FcStatusOr<BuildResponse> CoresetService::Build(
   Timer timer;
   if (request.shards == 0) {
     return api::FcStatus::InvalidArgument("shards must be >= 1");
+  }
+  if (request.parallelism > MaxParallelism()) {
+    return api::FcStatus::InvalidArgument(
+        "parallelism (" + std::to_string(request.parallelism) +
+        ") exceeds the maximum worker budget (" +
+        std::to_string(MaxParallelism()) + ")");
   }
   api::FcStatus status = api::ValidateSpec(request.spec);
   if (!status.ok()) return status;
@@ -110,16 +142,36 @@ api::FcStatusOr<BuildResponse> CoresetService::Build(
     diag.cache_status = "bypass";
   }
 
-  Timer build_timer;
   api::FcStatusOr<ShardedBuildResult> built =
-      BuildSharded(request.spec, points, shards);
+      BuildSharded(request.spec, points, shards, request.parallelism);
   if (!built.ok()) return built.status();
-  diag.build_seconds = build_timer.Seconds();
+  diag.parallelism_requested = request.parallelism;
+  diag.parallelism_effective = built->scheduler.parallelism;
+  diag.scheduler = built->scheduler;
+  diag.critical_path_seconds = built->critical_path_seconds;
   diag.shards = std::move(built->shards);
   diag.has_merge = built->has_merge;
   diag.merge = std::move(built->merge);
   diag.points_processed = built->points_processed;
   diag.bytes_processed = built->bytes_processed;
+  // Summed CPU-side work: with concurrent shards this exceeds
+  // critical_path_seconds — exactly the point of the comparison.
+  for (const ShardDiagnostics& shard : diag.shards) {
+    diag.build_seconds += shard.build.total_seconds;
+  }
+  if (diag.has_merge) diag.build_seconds += diag.merge.total_seconds;
+
+  {
+    MutexLock lock(scheduler_mutex_);
+    ++scheduler_totals_.graphs_run;
+    scheduler_totals_.tasks_executed += built->scheduler.tasks_executed;
+    scheduler_totals_.max_concurrent_shards =
+        std::max(scheduler_totals_.max_concurrent_shards,
+                 built->scheduler.max_concurrent_shards);
+    scheduler_totals_.queue_high_water =
+        std::max(scheduler_totals_.queue_high_water,
+                 built->scheduler.queue_high_water);
+  }
 
   if (caching) {
     auto entry = std::make_shared<CachedBuild>();
@@ -136,6 +188,11 @@ api::FcStatusOr<BuildResponse> CoresetService::Build(
 
   diag.total_seconds = timer.Seconds();
   return BuildResponse{std::move(built->coreset), std::move(diag)};
+}
+
+CoresetService::SchedulerTotals CoresetService::SchedulerStats() const {
+  MutexLock lock(scheduler_mutex_);
+  return scheduler_totals_;
 }
 
 api::FcStatusOr<size_t> CoresetService::EvictDataset(

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "src/api/fastcoreset.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/service/coreset_cache.h"
 #include "src/service/dataset_store.h"
 #include "src/service/shard_planner.h"
@@ -35,6 +37,14 @@ struct BuildRequest {
   std::string dataset;
   api::CoresetSpec spec;
   size_t shards = 1;
+  /// Parallelism budget for the task-graph scheduler that runs the shard
+  /// build: caps how many shards build concurrently (0 = all workers,
+  /// GetNumThreads()); the shards in flight partition the pool's workers
+  /// between them. 1 = the sequential reference walk — one shard at a
+  /// time, each on the full pool. Validated against MaxParallelism();
+  /// NEVER part of the cache key, because the budget only changes the
+  /// schedule — the result is bit-identical at any value.
+  size_t parallelism = 0;
   /// false skips both cache lookup and insertion (cache="bypass") — for
   /// measurements and cache-busting rebuilds.
   bool use_cache = true;
@@ -50,6 +60,12 @@ struct ServiceDiagnostics {
   std::string cache_status;  ///< "hit" | "miss" | "bypass".
   size_t shard_count = 1;    ///< Effective (clamped) shard count.
 
+  size_t parallelism_requested = 0;  ///< Budget as asked for (0 = all).
+  /// Budget the scheduler actually ran with (request clamped to the
+  /// pool); 0 on a cache hit — no graph ran.
+  size_t parallelism_effective = 0;
+  ShardSchedulerStats scheduler;  ///< Task-graph run counters; zero on a hit.
+
   /// Per-shard build diagnostics (stage times included); empty on a hit.
   std::vector<ShardDiagnostics> shards;
   bool has_merge = false;
@@ -57,7 +73,13 @@ struct ServiceDiagnostics {
 
   size_t points_processed = 0;  ///< Rows this request fed through builders.
   size_t bytes_processed = 0;
-  double build_seconds = 0.0;  ///< Build work done by this request.
+  /// Summed CPU-side build work: Σ shard build seconds + merge seconds.
+  /// With concurrent shards this EXCEEDS elapsed time — compare against
+  /// critical_path_seconds to see the overlap.
+  double build_seconds = 0.0;
+  /// Wall clock of the task-graph run (the critical path through the
+  /// overlapped shard windows plus the merge); 0 on a cache hit.
+  double critical_path_seconds = 0.0;
   double total_seconds = 0.0;  ///< Request wall clock (lookup included).
 
   /// Multi-line key=value report in the BuildDiagnostics style.
@@ -86,6 +108,17 @@ class CoresetService {
 
   CoresetCache::Stats CacheStats() const { return cache_.stats(); }
 
+  /// Lifetime task-graph totals across every build this service ran
+  /// (cache hits run no graph and add nothing). High-water fields are
+  /// maxima across runs; the rest are sums. For the stats verb.
+  struct SchedulerTotals {
+    size_t graphs_run = 0;
+    size_t tasks_executed = 0;
+    size_t max_concurrent_shards = 0;
+    size_t queue_high_water = 0;
+  };
+  SchedulerTotals SchedulerStats() const;
+
   /// Drops cached builds of the named dataset's content; kNotFound when
   /// the name is not registered.
   api::FcStatusOr<size_t> EvictDataset(const std::string& name);
@@ -96,6 +129,8 @@ class CoresetService {
   ServiceOptions options_;
   DatasetStore store_;
   CoresetCache cache_;
+  mutable Mutex scheduler_mutex_;
+  SchedulerTotals scheduler_totals_ FC_GUARDED_BY(scheduler_mutex_);
 };
 
 }  // namespace service

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/api/fastcoreset.h"
+#include "src/common/task_graph.h"
 #include "src/common/timer.h"
 
 namespace fastcoreset {
@@ -29,6 +30,29 @@ Matrix SliceRows(const Matrix& points, const ShardRange& range) {
   }
   return slice;
 }
+
+/// One shard node's product (node bodies cannot return a status — each
+/// records everything in its own slot for assembly after the graph
+/// drains; slots are written by exactly one node).
+struct ShardOutcome {
+  api::FcStatus status;  ///< Ok unless this shard's build failed.
+  Coreset coreset;       ///< Indices already remapped to dataset rows.
+  api::BuildDiagnostics diagnostics;
+};
+
+/// The merge node's product (the node body cannot return a status — it
+/// records everything here for assembly after the graph drains).
+struct MergeOutcome {
+  api::FcStatus status;
+  Coreset coreset;
+  size_t stream_blocks = 0;
+  size_t stream_reduce_ops = 0;
+  size_t stream_levels = 0;
+  size_t input_rows = 0;  ///< Non-empty shard coreset rows fed to the merge.
+  size_t points_processed = 0;
+  uint64_t seed = 0;
+  double seconds = 0.0;
+};
 
 }  // namespace
 
@@ -61,7 +85,8 @@ std::vector<ShardRange> PlanShards(size_t rows, size_t requested) {
 
 api::FcStatusOr<ShardedBuildResult> BuildSharded(const api::CoresetSpec& spec,
                                                  const Matrix& points,
-                                                 size_t shard_count) {
+                                                 size_t shard_count,
+                                                 size_t parallelism) {
   if (shard_count == 0) {
     return api::FcStatus::InvalidArgument("shard count must be >= 1");
   }
@@ -78,104 +103,180 @@ api::FcStatusOr<ShardedBuildResult> BuildSharded(const api::CoresetSpec& spec,
   const std::vector<ShardRange> plan = PlanShards(points.rows(), shard_count);
   const size_t shards = plan.size();
 
-  ShardedBuildResult result;
-  result.shards.reserve(shards);
-  std::vector<Coreset> shard_coresets;
-  shard_coresets.reserve(shards);
+  // Per-shard result slots and execution windows: graph nodes write only
+  // their own index, so concurrent execution needs no locking here, and
+  // the post-run assembly reads them in fixed shard order.
+  Timer wall;
+  std::vector<ShardOutcome> built(shards);
+  std::vector<std::pair<double, double>> windows(shards, {0.0, 0.0});
+  MergeOutcome merge_out;
 
-  // Per-shard builds, sequential in shard order (each build parallelizes
-  // internally over the persistent pool — running the outer loop serial is
-  // what keeps the result bit-identical at any FC_THREADS).
+  // The graph: one build node per shard (independent, internally
+  // parallel on its budget slice) plus, for shards > 1, a merge node
+  // that waits on every shard edge. The schedule decides only WHEN a
+  // node runs: seeds are derived per shard and the merge consumes shard
+  // coresets in fixed shard order, so concurrent execution is
+  // bit-identical to the sequential walk.
+  TaskGraph graph;
+  std::vector<TaskGraph::TaskId> shard_nodes;
+  shard_nodes.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
-    api::CoresetSpec sub_spec = spec;
-    // With a single shard the request IS a plain one-shot build; derived
-    // seeds start mattering once there is more than one rng to keep apart.
-    sub_spec.seed = shards == 1
-                        ? spec.seed
-                        : DeriveBuildSeed(spec.seed, kShardSeedDomain, i);
-    if (!spec.weights.empty()) {
-      sub_spec.weights.assign(spec.weights.begin() + plan[i].begin,
-                              spec.weights.begin() + plan[i].end);
-    }
-    api::FcStatusOr<api::BuildResult> built =
-        api::Build(sub_spec, SliceRows(points, plan[i]));
-    if (!built.ok()) return built.status();
-    // Shard-local indices -> dataset rows.
-    for (size_t& index : built->coreset.indices) {
-      if (index != Coreset::kSyntheticIndex) index += plan[i].begin;
-    }
-    result.shards.push_back(
-        {i, plan[i].begin, plan[i].end, sub_spec.seed,
-         std::move(built->diagnostics)});
+    shard_nodes.push_back(graph.AddTask([&spec, &points, &plan, &built,
+                                         &windows, &wall, shards, i] {
+      windows[i].first = wall.Seconds();
+      api::CoresetSpec sub_spec = spec;
+      // With a single shard the request IS a plain one-shot build;
+      // derived seeds start mattering once there is more than one rng to
+      // keep apart.
+      sub_spec.seed = shards == 1
+                          ? spec.seed
+                          : DeriveBuildSeed(spec.seed, kShardSeedDomain, i);
+      if (!spec.weights.empty()) {
+        sub_spec.weights.assign(spec.weights.begin() + plan[i].begin,
+                                spec.weights.begin() + plan[i].end);
+      }
+      api::FcStatusOr<api::BuildResult> shard_built =
+          api::Build(sub_spec, SliceRows(points, plan[i]));
+      if (!shard_built.ok()) {
+        built[i].status = shard_built.status();
+      } else {
+        // Shard-local indices -> dataset rows.
+        for (size_t& index : shard_built->coreset.indices) {
+          if (index != Coreset::kSyntheticIndex) index += plan[i].begin;
+        }
+        built[i].coreset = std::move(shard_built->coreset);
+        built[i].diagnostics = std::move(shard_built->diagnostics);
+      }
+      windows[i].second = wall.Seconds();
+    }));
+  }
+
+  if (shards > 1) {
+    graph.AddTask(
+        [&spec, &points, &built, &merge_out, shards] {
+          // A failed shard makes the merge moot; the failure itself is
+          // surfaced (in shard order) by the assembly below.
+          for (size_t i = 0; i < shards; ++i) {
+            if (!built[i].status.ok()) {
+              merge_out.status = built[i].status;
+              return;
+            }
+          }
+          // Merge phase: feed the shard coresets through the streaming
+          // merge-&-reduce compressor (coresets of coresets are
+          // coresets). The compressor's global stream positions index
+          // the concatenation of the pushed shard coresets;
+          // `stream_to_dataset` maps them back to original dataset rows.
+          api::CoresetSpec merge_spec = spec;
+          merge_spec.weights.clear();
+          merge_spec.seed =
+              DeriveBuildSeed(spec.seed, kMergeSeedDomain, shards);
+          merge_out.seed = merge_spec.seed;
+          api::FcStatusOr<CoresetBuilder> builder =
+              api::MakeBuilder(merge_spec);
+          if (!builder.ok()) {
+            merge_out.status = builder.status();
+            return;
+          }
+
+          Timer merge_timer;
+          Rng merge_rng(merge_spec.seed);
+          StreamingCompressor compressor(builder.value(), spec.EffectiveM(),
+                                         &merge_rng);
+          std::vector<size_t> stream_to_dataset;
+          for (size_t i = 0; i < shards; ++i) {
+            const Coreset& shard = built[i].coreset;
+            // Zero-weight rows carry no mass and some reducers (bico's
+            // CF tree) reject them; dropping them changes nothing the
+            // coreset represents.
+            std::vector<size_t> keep;
+            keep.reserve(shard.size());
+            for (size_t r = 0; r < shard.size(); ++r) {
+              if (shard.weights[r] > 0.0) keep.push_back(r);
+            }
+            if (keep.empty()) continue;
+            std::vector<double> weights;
+            weights.reserve(keep.size());
+            for (size_t r : keep) {
+              stream_to_dataset.push_back(shard.indices[r]);
+              weights.push_back(shard.weights[r]);
+            }
+            compressor.Push(shard.points.SelectRows(keep), weights);
+          }
+          if (stream_to_dataset.empty()) {
+            merge_out.status =
+                api::FcStatus::Internal("all shard coresets were empty");
+            return;
+          }
+          merge_out.input_rows = stream_to_dataset.size();
+          Coreset merged = compressor.Finalize();
+          for (size_t& index : merged.indices) {
+            index = index < stream_to_dataset.size()
+                        ? stream_to_dataset[index]
+                        : Coreset::kSyntheticIndex;
+          }
+          merge_out.coreset = std::move(merged);
+          merge_out.stream_blocks = compressor.BlocksConsumed();
+          merge_out.stream_reduce_ops = compressor.ReduceOps();
+          merge_out.stream_levels = compressor.OccupiedLevels();
+          merge_out.points_processed = compressor.BuilderRowsProcessed();
+          merge_out.seconds = merge_timer.Seconds();
+        },
+        shard_nodes);
+  }
+
+  const TaskGraph::RunStats run = graph.Run(parallelism);
+
+  ShardedBuildResult result;
+  result.scheduler.parallelism = run.parallelism;
+  result.scheduler.tasks_executed = run.tasks_executed;
+  result.scheduler.max_concurrent_shards = run.max_concurrent_tasks;
+  result.scheduler.queue_high_water = run.queue_high_water;
+  result.critical_path_seconds = wall.Seconds();
+
+  // Assembly, in fixed shard order: the first failed shard's status wins
+  // (matching the sequential walk), then the merge outcome.
+  result.shards.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    if (!built[i].status.ok()) return built[i].status;
+    ShardDiagnostics diag;
+    diag.index = i;
+    diag.row_begin = plan[i].begin;
+    diag.row_end = plan[i].end;
+    diag.seed = shards == 1
+                    ? spec.seed
+                    : DeriveBuildSeed(spec.seed, kShardSeedDomain, i);
+    diag.start_seconds = windows[i].first;
+    diag.end_seconds = windows[i].second;
+    diag.build = std::move(built[i].diagnostics);
+    result.shards.push_back(std::move(diag));
     result.points_processed += plan[i].rows();
-    shard_coresets.push_back(std::move(built->coreset));
   }
 
   if (shards == 1) {
-    result.coreset = std::move(shard_coresets[0]);
+    result.coreset = std::move(built[0].coreset);
   } else {
-    // Merge phase: feed the shard coresets through the streaming
-    // merge-&-reduce compressor (coresets of coresets are coresets). The
-    // compressor's global stream positions index the concatenation of the
-    // pushed shard coresets; `stream_to_dataset` maps them back to
-    // original dataset rows.
-    api::CoresetSpec merge_spec = spec;
-    merge_spec.weights.clear();
-    merge_spec.seed = DeriveBuildSeed(spec.seed, kMergeSeedDomain, shards);
-    api::FcStatusOr<CoresetBuilder> builder = api::MakeBuilder(merge_spec);
-    if (!builder.ok()) return builder.status();
-
-    Timer merge_timer;
-    Rng merge_rng(merge_spec.seed);
-    StreamingCompressor compressor(builder.value(), spec.EffectiveM(),
-                                   &merge_rng);
-    std::vector<size_t> stream_to_dataset;
-    for (const Coreset& shard : shard_coresets) {
-      // Zero-weight rows carry no mass and some reducers (bico's CF tree)
-      // reject them; dropping them changes nothing the coreset represents.
-      std::vector<size_t> keep;
-      keep.reserve(shard.size());
-      for (size_t r = 0; r < shard.size(); ++r) {
-        if (shard.weights[r] > 0.0) keep.push_back(r);
-      }
-      if (keep.empty()) continue;
-      std::vector<double> weights;
-      weights.reserve(keep.size());
-      for (size_t r : keep) {
-        stream_to_dataset.push_back(shard.indices[r]);
-        weights.push_back(shard.weights[r]);
-      }
-      compressor.Push(shard.points.SelectRows(keep), weights);
-    }
-    if (stream_to_dataset.empty()) {
-      return api::FcStatus::Internal("all shard coresets were empty");
-    }
-    Coreset merged = compressor.Finalize();
-    for (size_t& index : merged.indices) {
-      index = index < stream_to_dataset.size() ? stream_to_dataset[index]
-                                               : Coreset::kSyntheticIndex;
-    }
-
+    if (!merge_out.status.ok()) return merge_out.status;
     result.has_merge = true;
     result.merge.method = result.shards[0].build.method;
-    result.merge.seed = merge_spec.seed;
-    result.merge.input_rows = stream_to_dataset.size();
+    result.merge.seed = merge_out.seed;
+    result.merge.input_rows = merge_out.input_rows;
     result.merge.input_dims = points.cols();
     result.merge.k = spec.k;
     result.merge.m_requested = spec.m;
     result.merge.m_effective = spec.EffectiveM();
     result.merge.z = spec.z;
-    result.merge.stream_blocks = compressor.BlocksConsumed();
-    result.merge.stream_reduce_ops = compressor.ReduceOps();
-    result.merge.stream_levels = compressor.OccupiedLevels();
-    result.merge.points_processed = compressor.BuilderRowsProcessed();
+    result.merge.stream_blocks = merge_out.stream_blocks;
+    result.merge.stream_reduce_ops = merge_out.stream_reduce_ops;
+    result.merge.stream_levels = merge_out.stream_levels;
+    result.merge.points_processed = merge_out.points_processed;
     result.merge.bytes_processed =
-        result.merge.points_processed * points.cols() * sizeof(double);
-    result.merge.output_rows = merged.size();
-    result.merge.output_total_weight = merged.TotalWeight();
-    result.merge.total_seconds = merge_timer.Seconds();
-    result.points_processed += result.merge.points_processed;
-    result.coreset = std::move(merged);
+        merge_out.points_processed * points.cols() * sizeof(double);
+    result.merge.output_rows = merge_out.coreset.size();
+    result.merge.output_total_weight = merge_out.coreset.TotalWeight();
+    result.merge.total_seconds = merge_out.seconds;
+    result.points_processed += merge_out.points_processed;
+    result.coreset = std::move(merge_out.coreset);
   }
 
   result.bytes_processed =

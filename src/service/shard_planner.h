@@ -8,13 +8,19 @@
 // merge-&-reduce compressor (src/streaming/merge_reduce) into one final
 // size-m coreset whose indices still refer to the original dataset rows.
 //
+// Execution runs on the task-graph tier (src/common/task_graph.h): one
+// graph node per shard build plus a merge node that waits on every shard
+// edge, scheduled over up to `parallelism` node executors, each shard's
+// inner chunk dispatches capped to a slice of the worker budget.
+//
 // Determinism contract: each shard's build seeds a fresh Rng with
-// DeriveBuildSeed(spec.seed, kShardSeedDomain, shard_index), and the merge
-// phase with its own derived seed — so a (seed, shard_count) pair fully
-// determines the result, bit-identically at any FC_THREADS (shards run
-// sequentially in shard order; each build parallelizes internally over the
-// pool, which preserves the library-wide thread-invariance contract).
-// Different shard counts are different (all valid) coresets.
+// DeriveBuildSeed(spec.seed, kShardSeedDomain, shard_index), the merge
+// phase gets its own derived seed, and the merge consumes shard coresets
+// in fixed shard order — so a (seed, shard_count) pair fully determines
+// the result, bit-identically at any FC_THREADS and any parallelism
+// budget: concurrent shard execution equals the sequential walk
+// (parallelism = 1) exactly. Different shard counts are different (all
+// valid) coresets.
 
 #ifndef FASTCORESET_SERVICE_SHARD_PLANNER_H_
 #define FASTCORESET_SERVICE_SHARD_PLANNER_H_
@@ -56,14 +62,29 @@ size_t EffectiveShardCount(size_t rows, size_t requested);
 /// identity of a sharded build.
 std::vector<ShardRange> PlanShards(size_t rows, size_t requested);
 
-/// What one shard's build did: its range, its derived seed, and the full
-/// per-build diagnostics (stage times included).
+/// What one shard's build did: its range, its derived seed, the full
+/// per-build diagnostics (stage times included), and where its execution
+/// sat on the request's wall clock. With concurrent shards the
+/// [start_seconds, end_seconds) windows OVERLAP — summing per-shard
+/// durations gives CPU-side work, not elapsed time.
 struct ShardDiagnostics {
   size_t index = 0;
   size_t row_begin = 0;
   size_t row_end = 0;
   uint64_t seed = 0;
+  /// Offsets from the sharded build's start at which this shard's node
+  /// began and finished executing.
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
   api::BuildDiagnostics build;
+};
+
+/// What the task-graph run behind a sharded build looked like.
+struct ShardSchedulerStats {
+  size_t parallelism = 0;            ///< Effective worker budget used.
+  size_t tasks_executed = 0;         ///< Graph nodes run (shards + merge).
+  size_t max_concurrent_shards = 0;  ///< High-water of nodes in flight.
+  size_t queue_high_water = 0;       ///< Max ready-queue length observed.
 };
 
 /// A sharded build's product.
@@ -73,17 +94,25 @@ struct ShardedBuildResult {
   bool has_merge = false;                 ///< True when shards > 1.
   /// Merge-phase accounting (stream_* fields + wall clock) when has_merge.
   api::BuildDiagnostics merge;
+  ShardSchedulerStats scheduler;          ///< Task-graph run counters.
   size_t points_processed = 0;  ///< Shard rows + merge re-reduction rows.
   size_t bytes_processed = 0;   ///< points_processed * dims * sizeof(double).
+  /// Wall clock of the whole graph run — the critical path through the
+  /// overlapped shard windows plus the merge, NOT the per-shard sum.
+  double critical_path_seconds = 0.0;
 };
 
 /// Runs the full sharded pipeline: plan, per-shard api::Build with derived
-/// seeds, merge-&-reduce combine. spec.weights (when non-empty) must match
-/// points.rows() and is sliced per shard. All request-level failures come
-/// back as a status; nothing aborts.
+/// seeds submitted as task-graph nodes, merge-&-reduce combine as the node
+/// every shard edge feeds. spec.weights (when non-empty) must match
+/// points.rows() and is sliced per shard. `parallelism` is the worker
+/// budget for the graph (0 = all workers; 1 = the sequential reference
+/// walk); it never changes the result, only the schedule. All
+/// request-level failures come back as a status; nothing aborts.
 api::FcStatusOr<ShardedBuildResult> BuildSharded(const api::CoresetSpec& spec,
                                                  const Matrix& points,
-                                                 size_t shard_count);
+                                                 size_t shard_count,
+                                                 size_t parallelism = 0);
 
 }  // namespace service
 }  // namespace fastcoreset

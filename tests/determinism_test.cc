@@ -23,6 +23,7 @@
 #include "src/geometry/quadtree.h"
 #include "src/spread/crude_approx.h"
 #include "src/spread/reduce_spread.h"
+#include "src/service/shard_planner.h"
 
 namespace fastcoreset {
 namespace {
@@ -315,6 +316,40 @@ TEST(DeterminismTest, QuadtreeStructureIdenticalAcrossRepeatedBuilds) {
     ASSERT_EQ(a.is_leaf, b.is_leaf) << "node " << id;
     ASSERT_EQ(a.children, b.children) << "node " << id;
     ASSERT_EQ(a.points, b.points) << "node " << id;
+  }
+}
+
+TEST(DeterminismTest, ConcurrentShardBuildsBitIdenticalToSequentialWalk) {
+  // The task-graph tier runs shard builds concurrently; the schedule must
+  // never reach results. Pin concurrent (parallelism = 0, all workers)
+  // against the sequential reference walk (parallelism = 1) bit for bit,
+  // across shard counts and thread counts.
+  const Matrix points = TestPoints(7, 127);
+  api::CoresetSpec spec;
+  spec.method = "fast_coreset";
+  spec.k = 8;
+  spec.m = 160;
+  spec.seed = 128;
+  for (size_t shards : {1, 2, 4, 8}) {
+    Coreset sequential;
+    {
+      ThreadCountGuard guard(1);
+      auto result = service::BuildSharded(spec, points, shards,
+                                          /*parallelism=*/1);
+      ASSERT_TRUE(result.ok()) << result.status().message();
+      sequential = std::move(result->coreset);
+    }
+    for (size_t threads : {1, 4}) {
+      ThreadCountGuard guard(threads);
+      auto concurrent = service::BuildSharded(spec, points, shards,
+                                              /*parallelism=*/0);
+      ASSERT_TRUE(concurrent.ok()) << concurrent.status().message();
+      ExpectCoresetsIdentical(sequential, concurrent->coreset);
+      // The scheduler must actually have run every node.
+      EXPECT_EQ(concurrent->scheduler.tasks_executed,
+                shards == 1 ? 1u : shards + 1)
+          << "shards=" << shards << " threads=" << threads;
+    }
   }
 }
 

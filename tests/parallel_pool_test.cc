@@ -1,17 +1,21 @@
 // Tests for the persistent thread pool behind ParallelFor/ParallelReduce
-// (parallel.cc): lazy initialization, reentrancy (nested dispatches run
-// inline instead of deadlocking), worker counts exceeding the chunk
-// count, repeated init/teardown via ShutdownThreadPool, and exact
-// coverage of the chunk partition under stealing.
+// (parallel.cc) and the task-graph tier above it (task_graph.cc): lazy
+// initialization, reentrancy (nested dispatches run inline instead of
+// deadlocking), worker counts exceeding the chunk count, repeated
+// init/teardown via ShutdownThreadPool, exact coverage of the chunk
+// partition under stealing, concurrent independent dispatches, budget
+// scoping, and shutdown racing a running task graph.
 
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/parallel.h"
+#include "src/common/task_graph.h"
 
 namespace fastcoreset {
 namespace {
@@ -159,6 +163,215 @@ TEST(ThreadPoolTest, ChunkIndicesMatchPlanAtAnyThreadCount) {
     for (size_t c = 0; c < chunks; ++c) {
       ASSERT_EQ(seen[c].load(), 1u) << "chunk " << c;
     }
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentIndependentDispatchesAreBothExact) {
+  // Two threads each drive their own ParallelReduce through the shared
+  // pool at the same time — the multi-task dispatch path (tasks_ vector,
+  // PickTaskLocked) must keep the two chunk ranges fully separate.
+  ThreadCountGuard guard(4);
+  const double expected = SerialReferenceSum(kRows);
+  auto body = [](size_t begin, size_t end) {
+    double partial = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      partial += static_cast<double>(i % 97);
+    }
+    return partial;
+  };
+  for (int round = 0; round < 10; ++round) {
+    double other = 0.0;
+    std::thread concurrent([&] { other = ParallelReduce(kRows, body); });
+    const double mine = ParallelReduce(kRows, body);
+    concurrent.join();
+    ASSERT_EQ(mine, expected) << "round " << round;
+    ASSERT_EQ(other, expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, BudgetScopeOfOneForcesSerialExecution) {
+  ShutdownThreadPool();
+  ThreadCountGuard guard(8);
+  {
+    ParallelBudgetScope scope(1);
+    double total = 0.0;  // Unsynchronized on purpose: must run serially.
+    ParallelFor(kRows, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) total += 1.0;
+    });
+    EXPECT_EQ(total, static_cast<double>(kRows));
+    // The serial path never touches the pool, so no workers spin up.
+    EXPECT_EQ(ThreadPoolWorkerCount(), 0u);
+  }
+  // Scope gone: the same dispatch engages the pool again.
+  EXPECT_EQ(ParallelReduce(kRows,
+                           [](size_t begin, size_t end) {
+                             double partial = 0.0;
+                             for (size_t i = begin; i < end; ++i) {
+                               partial += static_cast<double>(i % 97);
+                             }
+                             return partial;
+                           }),
+            SerialReferenceSum(kRows));
+  EXPECT_GT(ThreadPoolWorkerCount(), 0u);
+}
+
+TEST(ThreadPoolTest, NestedBudgetScopesOnlyTighten) {
+  ThreadCountGuard guard(8);
+  ParallelBudgetScope outer(1);
+  {
+    // An inner scope asking for MORE budget than the outer must not win:
+    // a node granted a 1-thread slice cannot widen itself back out.
+    ParallelBudgetScope inner(8);
+    double total = 0.0;  // Unsynchronized on purpose.
+    ParallelFor(kRows, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) total += 1.0;
+    });
+    EXPECT_EQ(total, static_cast<double>(kRows));
+  }
+}
+
+TEST(TaskGraphTest, DependenciesExecuteBeforeDependents) {
+  ThreadCountGuard guard(4);
+  // A diamond: 0 -> {1, 2} -> 3. Each node records the order stamp it
+  // ran at; edges must be respected at any schedule.
+  std::atomic<size_t> stamp{0};
+  size_t order[4] = {0, 0, 0, 0};
+  TaskGraph graph;
+  const TaskGraph::TaskId a = graph.AddTask(
+      [&] { order[0] = stamp.fetch_add(1, std::memory_order_relaxed); });
+  const TaskGraph::TaskId b = graph.AddTask(
+      [&] { order[1] = stamp.fetch_add(1, std::memory_order_relaxed); },
+      {a});
+  const TaskGraph::TaskId c = graph.AddTask(
+      [&] { order[2] = stamp.fetch_add(1, std::memory_order_relaxed); },
+      {a});
+  graph.AddTask(
+      [&] { order[3] = stamp.fetch_add(1, std::memory_order_relaxed); },
+      {b, c});
+  const TaskGraph::RunStats stats = graph.Run();
+  EXPECT_EQ(stats.tasks_executed, 4u);
+  EXPECT_LT(order[0], order[1]);
+  EXPECT_LT(order[0], order[2]);
+  EXPECT_LT(order[1], order[3]);
+  EXPECT_LT(order[2], order[3]);
+}
+
+TEST(TaskGraphTest, SequentialBudgetWalksInSubmissionOrder) {
+  ThreadCountGuard guard(4);
+  // parallelism = 1 is the sequential reference walk: independent nodes
+  // run in exactly the order they were added (min-heap on task id).
+  std::vector<size_t> ran;
+  TaskGraph graph;
+  for (size_t i = 0; i < 8; ++i) {
+    graph.AddTask([&ran, i] { ran.push_back(i); });
+  }
+  const TaskGraph::RunStats stats = graph.Run(/*parallelism=*/1);
+  EXPECT_EQ(stats.parallelism, 1u);
+  EXPECT_EQ(stats.max_concurrent_tasks, 1u);
+  ASSERT_EQ(ran.size(), 8u);
+  for (size_t i = 0; i < ran.size(); ++i) EXPECT_EQ(ran[i], i);
+}
+
+TEST(TaskGraphTest, StatsCountersReflectTheRun) {
+  ThreadCountGuard guard(4);
+  std::atomic<size_t> executed{0};
+  TaskGraph graph;
+  std::vector<TaskGraph::TaskId> roots;
+  for (size_t i = 0; i < 6; ++i) {
+    roots.push_back(graph.AddTask(
+        [&] { executed.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  graph.AddTask([&] { executed.fetch_add(1, std::memory_order_relaxed); },
+                roots);
+  const TaskGraph::RunStats stats = graph.Run(/*parallelism=*/2);
+  EXPECT_EQ(executed.load(), 7u);
+  EXPECT_EQ(stats.tasks_executed, 7u);
+  EXPECT_EQ(stats.parallelism, 2u);
+  EXPECT_GE(stats.max_concurrent_tasks, 1u);
+  EXPECT_LE(stats.max_concurrent_tasks, 2u);
+  // All 6 roots were ready before any executed.
+  EXPECT_GE(stats.queue_high_water, 6u);
+}
+
+TEST(TaskGraphTest, NodesDispatchingParallelWorkCompose) {
+  ThreadCountGuard guard(4);
+  // Each node runs its own ParallelReduce on a budget slice; results must
+  // be exact regardless of how the slices interleave on the pool.
+  constexpr size_t kNodes = 6;
+  const double expected = SerialReferenceSum(kRows);
+  double sums[kNodes] = {0};
+  TaskGraph graph;
+  for (size_t node = 0; node < kNodes; ++node) {
+    graph.AddTask([&sums, node] {
+      sums[node] = ParallelReduce(kRows, [](size_t begin, size_t end) {
+        double partial = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          partial += static_cast<double>(i % 97);
+        }
+        return partial;
+      });
+    });
+  }
+  graph.Run();
+  for (size_t node = 0; node < kNodes; ++node) {
+    EXPECT_EQ(sums[node], expected) << "node " << node;
+  }
+}
+
+TEST(TaskGraphTest, ShutdownRacingARunningGraphNeverDeadlocks) {
+  // The drain-safety regression: ShutdownThreadPool() fired while graph
+  // nodes are mid-flight (some queued, some dispatching chunk work into
+  // the pool). Every dispatcher participates in its own dispatch and
+  // steals all queues, so the graph must complete exactly even when the
+  // pool's workers vanish underneath it — serially if need be.
+  for (int round = 0; round < 5; ++round) {
+    ThreadCountGuard guard(4);
+    constexpr size_t kNodes = 8;
+    std::atomic<size_t> done{0};
+    double sums[kNodes] = {0};
+    const double expected = SerialReferenceSum(kRows);
+    TaskGraph graph;
+    std::vector<TaskGraph::TaskId> deps;
+    for (size_t node = 0; node < kNodes; ++node) {
+      // A dependency chain every other node: keeps nodes queued (not yet
+      // ready) while shutdown fires, exercising the queued-node path.
+      std::vector<TaskGraph::TaskId> node_deps;
+      if (node % 2 == 1) node_deps.push_back(deps.back());
+      deps.push_back(graph.AddTask(
+          [&sums, &done, node] {
+            sums[node] =
+                ParallelReduce(kRows, [](size_t begin, size_t end) {
+                  double partial = 0.0;
+                  for (size_t i = begin; i < end; ++i) {
+                    partial += static_cast<double>(i % 97);
+                  }
+                  return partial;
+                });
+            done.fetch_add(1, std::memory_order_relaxed);
+          },
+          node_deps));
+    }
+    std::thread runner([&graph] { graph.Run(); });
+    // Fire teardown mid-run (no sleep: the race window is the point —
+    // some rounds hit it early, some late).
+    ShutdownThreadPool();
+    runner.join();
+    ASSERT_EQ(done.load(), kNodes) << "round " << round;
+    for (size_t node = 0; node < kNodes; ++node) {
+      ASSERT_EQ(sums[node], expected) << "round " << round << " node "
+                                      << node;
+    }
+    // The pool must still be usable after the race.
+    EXPECT_EQ(ParallelReduce(kRows,
+                             [](size_t begin, size_t end) {
+                               double partial = 0.0;
+                               for (size_t i = begin; i < end; ++i) {
+                                 partial += static_cast<double>(i % 97);
+                               }
+                               return partial;
+                             }),
+              expected);
+    ShutdownThreadPool();
   }
 }
 

@@ -206,5 +206,67 @@ TEST(ServiceConcurrencyTest, InterleavedRegisterBuildEvictStats) {
   EXPECT_EQ(service.datasets().Names().size(), kSharedDatasets);
 }
 
+TEST(ServiceConcurrencyTest, MixedShardedBuildsThroughSchedulerAgree) {
+  // Concurrent application threads drive sharded builds through the
+  // task-graph scheduler with varying parallelism budgets — the budget
+  // and the shard count of OTHER requests in flight must never reach a
+  // build's bits. Bypass the cache so every request really schedules a
+  // graph; all fingerprints for one (dataset, shards) pair must agree.
+  CoresetService service(ServiceOptions{/*cache_capacity=*/0});
+  RegisterShared(service);
+
+  constexpr size_t kShardChoices[] = {1, 2, 4};
+  std::atomic<uint64_t> expected[kSharedDatasets][3] = {};
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        const size_t dataset = (t + round) % kSharedDatasets;
+        const size_t shard_pick = (t * kRounds + round) % 3;
+        BuildRequest request = SharedRequest(dataset);
+        request.shards = kShardChoices[shard_pick];
+        request.parallelism = (t + round) % 3;  // 0 = all, 1, 2.
+        request.use_cache = false;
+        api::FcStatusOr<service::BuildResponse> response =
+            service.Build(request);
+        if (!response.ok()) {
+          ++failures;
+          continue;
+        }
+        // The scheduler ran one node per shard (+ merge when shards > 1).
+        const size_t shards = response->diagnostics.shard_count;
+        const size_t expected_tasks = shards == 1 ? 1 : shards + 1;
+        if (response->diagnostics.scheduler.tasks_executed !=
+            expected_tasks) {
+          ++failures;
+          continue;
+        }
+        const uint64_t fingerprint =
+            service::FingerprintCoreset(response->coreset);
+        uint64_t seen = 0;
+        if (!expected[dataset][shard_pick].compare_exchange_strong(
+                seen, fingerprint)) {
+          if (seen != fingerprint) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "a parallelism budget or a concurrent request changed the bits";
+
+  // Scheduler totals add up: every request ran exactly one graph.
+  const CoresetService::SchedulerTotals totals = service.SchedulerStats();
+  EXPECT_EQ(totals.graphs_run, kThreads * kRounds);
+  EXPECT_GE(totals.tasks_executed, totals.graphs_run);
+  EXPECT_GE(totals.max_concurrent_shards, 1u);
+}
+
 }  // namespace
 }  // namespace fastcoreset

@@ -1,17 +1,21 @@
 // fc_serve: the coreset-build service over newline-delimited JSON on
 // stdin/stdout — register datasets (CSV, inline rows, synthetic
-// generators), issue sharded/cached build requests, inspect cache stats,
-// evict. One request line in, one response line out, until EOF; malformed
-// requests produce error-response lines and never terminate the server.
-// See src/service/protocol.h for the full request/response schema and the
-// README's "Service layer" section for a transcript.
+// generators), issue sharded/cached build requests, inspect cache and
+// scheduler stats, evict. One request line in, one response line out,
+// until EOF; every response line leads with the protocol version
+// ("v":1); malformed requests produce error-response lines and never
+// terminate the server. Sharded builds run on the task-graph scheduler
+// tier — "parallelism" caps its worker budget (0 = all workers) without
+// changing the resulting coreset. See src/service/protocol.h for the
+// full request/response schema and the README's "Service layer" section
+// for a transcript.
 //
 //   fc_serve [--cache-capacity N]
 //
 // Example session:
 //   {"verb":"register","name":"d","csv":"points.csv"}
 //   {"verb":"build","dataset":"d","method":"fast_coreset","k":10,
-//    "seed":1,"shards":4}
+//    "seed":1,"shards":4,"parallelism":2}
 //   {"verb":"stats"}
 
 #include <cstdio>

@@ -2,10 +2,13 @@
 """End-to-end smoke test for fc_serve (registered in ctest).
 
 Drives the binary over its stdin/stdout NDJSON protocol:
-register a CSV dataset, issue the same sharded build request twice, and
-assert the second response is a cache hit carrying a bit-identical
-coreset (equal coreset fingerprints), that an invalid request surfaces an
-error response without killing the server, and that stats reflect the
+register a CSV dataset, issue the same sharded build request twice (the
+first with an explicit parallelism budget), and assert every response
+line leads with protocol version v=1, the second build is a cache hit
+carrying a bit-identical coreset (equal coreset fingerprints), a
+budget-capped rebuild still matches bit for bit, an invalid request
+surfaces an error response without killing the server, and stats report
+the protocol version plus task-graph scheduler totals that reflect the
 traffic.
 
 Usage: fc_serve_smoke.py <fc_serve-binary> <input.csv>
@@ -26,12 +29,17 @@ def main():
     build = {"verb": "build", "dataset": "tiny", "method": "fast_coreset",
              "k": 4, "m": 48, "z": 2, "seed": 7, "shards": 2,
              "options": {"use_jl": False}}
+    # Same request with a sequential scheduler budget and no cache: the
+    # budget must change the schedule only, never the bits.
+    serial = dict(build, parallelism=1, use_cache=False)
     requests = [
         {"verb": "register", "name": "tiny", "csv": csv_path},
         build,
         build,
+        serial,
         {"verb": "build", "dataset": "no_such_dataset", "k": 4},
         {"verb": "build", "dataset": "tiny", "k": 4, "z": 3},
+        {"verb": "build", "dataset": "tiny", "k": 4, "parallelism": 100000},
         {"verb": "stats"},
     ]
     payload = "".join(json.dumps(r) + "\n" for r in requests)
@@ -48,7 +56,8 @@ def main():
               f"\n{proc.stdout}", file=sys.stderr)
         return 1
     responses = [json.loads(line) for line in lines]
-    register, first, second, unknown, invalid, stats = responses
+    (register, first, second, serial_build, unknown, invalid, over_budget,
+     stats) = responses
 
     failures = []
 
@@ -56,12 +65,22 @@ def main():
         if not condition:
             failures.append(message)
 
+    for i, response in enumerate(responses):
+        check(response.get("v") == 1,
+              f"response {i} must lead with protocol v=1: {response}")
     check(register.get("ok") and register.get("rows", 0) > 0,
           f"register failed: {register}")
     check(first.get("ok"), f"first build failed: {first}")
     check(first.get("cache") == "miss",
           f"first build should miss the cache: {first}")
     check(first.get("shards") == 2, f"expected 2 shards: {first}")
+    check(first.get("parallelism", 0) >= 1,
+          f"a rebuild must report its effective parallelism: {first}")
+    check(first.get("critical_path_seconds", -1.0) >= 0.0
+          and first.get("build_seconds", -1.0) >= 0.0,
+          f"rebuild must report both work and critical path: {first}")
+    check(len(first.get("shard_windows", [])) == 2,
+          f"expected one [start, end] window per shard: {first}")
     check(second.get("ok"), f"second build failed: {second}")
     check(second.get("cache") == "hit",
           f"second build should hit the cache: {second}")
@@ -72,21 +91,42 @@ def main():
           "cached coreset is not bit-identical: "
           f"{first.get('coreset_fingerprint')} vs "
           f"{second.get('coreset_fingerprint')}")
+    check(serial_build.get("ok") and serial_build.get("parallelism") == 1,
+          f"parallelism=1 rebuild should run serially: {serial_build}")
+    check(first.get("coreset_fingerprint")
+          == serial_build.get("coreset_fingerprint"),
+          "scheduler budget changed the bits: "
+          f"{first.get('coreset_fingerprint')} vs "
+          f"{serial_build.get('coreset_fingerprint')}")
     check(not unknown.get("ok") and unknown.get("code") == "not_found",
           f"unknown dataset should be not_found: {unknown}")
     check(not invalid.get("ok") and invalid.get("code") == "invalid_argument",
           f"z=3 should be invalid_argument: {invalid}")
+    check(not over_budget.get("ok")
+          and over_budget.get("code") == "invalid_argument",
+          f"parallelism=100000 should be invalid_argument: {over_budget}")
     cache = stats.get("cache", {})
     check(stats.get("ok") and cache.get("hits") == 1
           and cache.get("misses") == 1 and cache.get("entries") == 1,
           f"stats disagree with the traffic: {stats}")
+    check(stats.get("protocol_version") == 1,
+          f"stats must report protocol_version=1: {stats}")
+    scheduler = stats.get("scheduler", {})
+    check(scheduler.get("graphs_run") == 2,
+          f"two rebuilds ran, so two graphs: {stats}")
+    check(scheduler.get("tasks_executed") == 6,
+          f"each 2-shard rebuild runs 3 nodes (2 shards + merge): {stats}")
+    check(scheduler.get("max_concurrent_shards", 0) >= 1
+          and scheduler.get("queue_high_water", 0) >= 1,
+          f"scheduler high-water counters missing: {stats}")
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
         return 1
-    print("fc_serve smoke passed: register + build x2 (miss then "
-          "bit-identical hit) + error responses + stats")
+    print("fc_serve smoke passed: v=1 on every line, register + build x2 "
+          "(miss then bit-identical hit) + budget-capped rebuild "
+          "(bit-identical) + error responses + stats w/ scheduler totals")
     return 0
 
 
