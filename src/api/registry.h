@@ -65,7 +65,9 @@ class Registry {
 
   const Entry* Find(const std::string& name) const FC_REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  /// Rank kRegistry (see tools/lint/lock_hierarchy.toml).
+  mutable Mutex mutex_ FC_ACQUIRED_AFTER(lock_rank::tier_registry)
+      FC_ACQUIRED_BEFORE(lock_rank::tier_task_graph){lock_rank::kRegistry};
   std::map<std::string, Entry> entries_ FC_GUARDED_BY(mutex_);
 };
 

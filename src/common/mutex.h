@@ -8,36 +8,184 @@
 //   CondVar    — std::condition_variable over a Mutex; Wait() FC_REQUIRES
 //                the mutex, so waiting without it is a compile error.
 //
-// All three compile to exactly the std:: operation they wrap (the
-// annotations are attributes, not code), so there is no runtime cost over
-// the types they replace.
+// Lock-rank order (PR 9). Every long-lived Mutex in the tree carries an
+// integer rank from lock_rank below — lower ranks are OUTER locks,
+// acquired first; a thread may only acquire a mutex whose rank is
+// strictly greater than every rank it already holds. The canonical rank
+// table lives in tools/lint/lock_hierarchy.toml (fc_lint's lock-order
+// pass statically checks lexical acquisition patterns against it); the
+// tier_* sentinels at the bottom of this header restate the same order
+// as FC_ACQUIRED_BEFORE/FC_ACQUIRED_AFTER clang annotations; and in
+// debug/sanitizer builds (FC_MUTEX_RANK_CHECKS) every Lock() checks the
+// order dynamically against a thread-local stack of held ranks, so an
+// inversion aborts at the site instead of deadlocking in production.
+//
+// In release builds without sanitizers all of this compiles away: the
+// wrappers are exactly the std:: operation they wrap, and rank
+// constructor arguments are discarded.
 
 #ifndef FASTCORESET_COMMON_MUTEX_H_
 #define FASTCORESET_COMMON_MUTEX_H_
+
+// Dynamic rank checking is on wherever a violation can be caught cheaply
+// and loudly: assert-enabled builds, and the ASan/TSan CI presets (which
+// compile RelWithDebInfo, so NDEBUG alone would switch the checks off
+// exactly where the concurrency suites run).
+#if !defined(NDEBUG) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_ADDRESS__)
+#define FC_MUTEX_RANK_CHECKS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define FC_MUTEX_RANK_CHECKS 1
+#else
+#define FC_MUTEX_RANK_CHECKS 0
+#endif
+#else
+#define FC_MUTEX_RANK_CHECKS 0
+#endif
 
 #include <condition_variable>
 #include <mutex>
 
 #include "src/common/thread_annotations.h"
 
+#if FC_MUTEX_RANK_CHECKS
+#include <cstdio>
+
+#include "src/common/check.h"
+#endif
+
 namespace fastcoreset {
+
+namespace lock_rank {
+
+// The global acquisition order, outermost first. Gaps leave room for new
+// tiers (the socket daemon and tiered cache on the roadmap) without
+// renumbering. Keep in sync with tools/lint/lock_hierarchy.toml — the
+// fc_lint lock-order pass cross-checks every ranked Mutex declaration
+// against that file.
+inline constexpr int kUnranked = 0;  ///< Exempt (short-lived/test locks).
+inline constexpr int kServiceScheduler = 10;  ///< CoresetService totals.
+inline constexpr int kDatasetStore = 20;      ///< DatasetStore bindings.
+inline constexpr int kCoresetCache = 30;      ///< CoresetCache LRU state.
+inline constexpr int kRegistry = 40;          ///< api::Registry entries.
+inline constexpr int kTaskGraph = 50;         ///< TaskGraph ready/running.
+inline constexpr int kPoolDispatch = 60;      ///< ThreadPool dispatch.
+
+}  // namespace lock_rank
+
+#if FC_MUTEX_RANK_CHECKS
+namespace rank_check_internal {
+
+/// Per-thread stack of held (mutex, rank) pairs. Fixed depth: the tree
+/// holds at most two ranked locks at once today; 16 is headroom, and
+/// blowing it is itself a locking bug worth an abort.
+struct HeldStack {
+  static constexpr int kMaxDepth = 16;
+  const void* mutex[kMaxDepth];
+  int rank[kMaxDepth];
+  int depth = 0;
+};
+
+inline HeldStack& TlsHeld() {
+  thread_local HeldStack stack;
+  return stack;
+}
+
+/// Call BEFORE blocking on the lock: an inversion then aborts with both
+/// ranks named instead of deadlocking first.
+inline void CheckAcquire(int rank) {
+  if (rank == lock_rank::kUnranked) return;
+  const HeldStack& held = TlsHeld();
+  for (int i = 0; i < held.depth; ++i) {
+    if (held.rank[i] >= rank) {
+      char msg[160];
+      std::snprintf(
+          msg, sizeof(msg),
+          "lock-rank inversion: acquiring rank %d while holding rank %d "
+          "(lower = outer; see tools/lint/lock_hierarchy.toml)",
+          rank, held.rank[i]);
+      internal_check::CheckFailed(__FILE__, __LINE__, "lock rank order",
+                                  msg);
+    }
+  }
+}
+
+inline void PushHeld(const void* mutex, int rank) {
+  if (rank == lock_rank::kUnranked) return;
+  HeldStack& held = TlsHeld();
+  FC_CHECK_MSG(held.depth < HeldStack::kMaxDepth,
+               "lock-rank stack overflow: more than kMaxDepth ranked "
+               "locks held by one thread");
+  held.mutex[held.depth] = mutex;
+  held.rank[held.depth] = rank;
+  ++held.depth;
+}
+
+inline void PopHeld(const void* mutex) {
+  HeldStack& held = TlsHeld();
+  // Search from the top: releases are almost always LIFO, but manual
+  // Lock/Unlock pairs may interleave.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.mutex[i] != mutex) continue;
+    for (int j = i; j + 1 < held.depth; ++j) {
+      held.mutex[j] = held.mutex[j + 1];
+      held.rank[j] = held.rank[j + 1];
+    }
+    --held.depth;
+    return;
+  }
+  // Unranked mutexes are never pushed; unlocking one lands here.
+}
+
+}  // namespace rank_check_internal
+#endif  // FC_MUTEX_RANK_CHECKS
 
 /// std::mutex with capability annotations. Prefer MutexLock over manual
 /// Lock/Unlock pairs; TryLock is for opportunistic paths that fall back
-/// to lock-free work (see ThreadPool::Run).
+/// to lock-free work (see ThreadPool::Run). Long-lived mutexes take
+/// their lock_rank tier in the constructor; the default constructor is
+/// rank-exempt (tests, short-lived locals).
 class FC_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if FC_MUTEX_RANK_CHECKS
+  explicit Mutex(int rank) : rank_(rank) {}
+
+  void Lock() FC_ACQUIRE() {
+    rank_check_internal::CheckAcquire(rank_);
+    mutex_.lock();
+    rank_check_internal::PushHeld(this, rank_);
+  }
+  void Unlock() FC_RELEASE() {
+    rank_check_internal::PopHeld(this);
+    mutex_.unlock();
+  }
+  bool TryLock() FC_TRY_ACQUIRE(true) {
+    // A failed try is not an acquisition and cannot deadlock, so only a
+    // successful one is rank-checked (it holds the lock like any other).
+    if (!mutex_.try_lock()) return false;
+    rank_check_internal::CheckAcquire(rank_);
+    rank_check_internal::PushHeld(this, rank_);
+    return true;
+  }
+#else
+  explicit Mutex(int rank) { static_cast<void>(rank); }
+
   void Lock() FC_ACQUIRE() { mutex_.lock(); }
   void Unlock() FC_RELEASE() { mutex_.unlock(); }
   bool TryLock() FC_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+#endif
 
  private:
   friend class CondVar;
   std::mutex mutex_;
+#if FC_MUTEX_RANK_CHECKS
+  const int rank_ = lock_rank::kUnranked;
+#endif
 };
 
 /// RAII lock over a Mutex (std::lock_guard shape): acquires in the
@@ -67,7 +215,10 @@ class CondVar {
 
   /// Atomically releases `mutex`, waits, and reacquires it before
   /// returning. Spurious wakeups are possible, as with std::
-  /// condition_variable.
+  /// condition_variable. The rank-check stack deliberately keeps the
+  /// mutex's entry during the wait: the caller still logically holds it
+  /// (the annotations say so), and a blocked thread cannot acquire
+  /// anything else anyway.
   void Wait(Mutex& mutex) FC_REQUIRES(mutex) {
     // Adopt the already-held std::mutex for the wait, then release the
     // unique_lock's ownership claim so the Mutex stays held (as the
@@ -83,6 +234,24 @@ class CondVar {
  private:
   std::condition_variable cv_;
 };
+
+namespace lock_rank {
+
+// Never-locked sentinel mutexes restating the rank order as clang
+// thread-safety facts: tier_X FC_ACQUIRED_AFTER(tier_Y) chains the
+// total order, and each real ranked mutex brackets itself between its
+// own tier and the next one (FC_ACQUIRED_AFTER its tier,
+// FC_ACQUIRED_BEFORE the next), so transitivity orders every ranked
+// pair. Clang checks these under -Wthread-safety-beta; plain
+// -Wthread-safety accepts and ignores them.
+inline Mutex tier_service_scheduler;
+inline Mutex tier_dataset_store FC_ACQUIRED_AFTER(tier_service_scheduler);
+inline Mutex tier_coreset_cache FC_ACQUIRED_AFTER(tier_dataset_store);
+inline Mutex tier_registry FC_ACQUIRED_AFTER(tier_coreset_cache);
+inline Mutex tier_task_graph FC_ACQUIRED_AFTER(tier_registry);
+inline Mutex tier_pool_dispatch FC_ACQUIRED_AFTER(tier_task_graph);
+
+}  // namespace lock_rank
 
 }  // namespace fastcoreset
 

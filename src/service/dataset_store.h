@@ -84,7 +84,10 @@ class DatasetStore {
   size_t size() const;
 
  private:
-  mutable Mutex mutex_;
+  /// Rank kDatasetStore (see tools/lint/lock_hierarchy.toml).
+  mutable Mutex mutex_ FC_ACQUIRED_AFTER(lock_rank::tier_dataset_store)
+      FC_ACQUIRED_BEFORE(lock_rank::tier_coreset_cache){
+          lock_rank::kDatasetStore};
   std::map<std::string, std::shared_ptr<const DatasetEntry>> entries_
       FC_GUARDED_BY(mutex_);
 };

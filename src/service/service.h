@@ -129,7 +129,12 @@ class CoresetService {
   ServiceOptions options_;
   DatasetStore store_;
   CoresetCache cache_;
-  mutable Mutex scheduler_mutex_;
+  /// Rank kServiceScheduler: the outermost lock of the tree (see
+  /// tools/lint/lock_hierarchy.toml).
+  mutable Mutex scheduler_mutex_
+      FC_ACQUIRED_AFTER(lock_rank::tier_service_scheduler)
+          FC_ACQUIRED_BEFORE(lock_rank::tier_dataset_store){
+              lock_rank::kServiceScheduler};
   SchedulerTotals scheduler_totals_ FC_GUARDED_BY(scheduler_mutex_);
 };
 

@@ -41,17 +41,20 @@ def load_gate(path):
 
 
 def check_pair(baseline_path, current_path, tolerance):
-    """Returns the list of failed metric names for one baseline/current
-    pair, printing a per-metric report."""
+    """Returns failure descriptions ("gate:metric (current/baseline
+    ratio)") for one baseline/current pair, printing a per-metric
+    report."""
     baseline = load_gate(baseline_path)
     current = load_gate(current_path)
 
     failures = []
     width = max(len(name) for name in baseline | current)
+    gate_name = current_path
     print(f"perf gate: {current_path} vs {baseline_path}")
     for name, base_value in sorted(baseline.items()):
         if name not in current:
-            failures.append(name)
+            failures.append(f"{gate_name}:{name} (missing from current "
+                            f"run, baseline {base_value:.3f})")
             print(f"  FAIL {name:<{width}} missing from current run"
                   f" (baseline {base_value:.3f})")
             continue
@@ -62,7 +65,10 @@ def check_pair(baseline_path, current_path, tolerance):
         print(f"  {status} {name:<{width}} current {value:8.3f}"
               f"  baseline {base_value:8.3f}  floor {floor:8.3f}")
         if not ok:
-            failures.append(name)
+            ratio = value / base_value if base_value else float("inf")
+            failures.append(f"{gate_name}:{name} (current {value:.3f} / "
+                            f"baseline {base_value:.3f} = {ratio:.2f}x, "
+                            f"floor {floor:.3f})")
     for name in sorted(set(current) - set(baseline)):
         print(f"  new  {name:<{width}} current {current[name]:8.3f}"
               f"  (no baseline; not gated)")
@@ -90,7 +96,10 @@ def main():
                                args.tolerance)
 
     if failures:
-        print(f"perf gate FAILED: {', '.join(failures)}", file=sys.stderr)
+        print(f"perf gate FAILED ({len(failures)} metric(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
         return 1
     print("perf gate passed")
     return 0

@@ -11,12 +11,22 @@ surfaces an error response without killing the server, and stats report
 the protocol version plus task-graph scheduler totals that reflect the
 traffic.
 
+Each request gets its own response deadline (FC_SMOKE_REQUEST_TIMEOUT
+seconds, default 60) so one wedged request fails fast with its index
+instead of eating the whole ctest budget; the server is killed on any
+failure path.
+
 Usage: fc_serve_smoke.py <fc_serve-binary> <input.csv>
 """
 
 import json
+import os
+import queue
 import subprocess
 import sys
+import threading
+
+REQUEST_TIMEOUT = float(os.environ.get("FC_SMOKE_REQUEST_TIMEOUT", "60"))
 
 
 def main():
@@ -42,19 +52,57 @@ def main():
         {"verb": "build", "dataset": "tiny", "k": 4, "parallelism": 100000},
         {"verb": "stats"},
     ]
-    payload = "".join(json.dumps(r) + "\n" for r in requests)
+    proc = subprocess.Popen([serve], stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                            text=True)
+    out_q: "queue.Queue[object]" = queue.Queue()
+    stderr_chunks = []
 
-    proc = subprocess.run([serve], input=payload, capture_output=True,
-                          text=True, timeout=300)
-    if proc.returncode != 0:
-        print(f"fc_serve exited {proc.returncode}: {proc.stderr}",
-              file=sys.stderr)
-        return 1
-    lines = proc.stdout.splitlines()
-    if len(lines) != len(requests):
-        print(f"expected {len(requests)} response lines, got {len(lines)}:"
-              f"\n{proc.stdout}", file=sys.stderr)
-        return 1
+    def pump_stdout():
+        for line in proc.stdout:
+            out_q.put(line.rstrip("\n"))
+        out_q.put(None)  # EOF: the server closed stdout / died
+
+    def pump_stderr():
+        stderr_chunks.append(proc.stderr.read())
+
+    threading.Thread(target=pump_stdout, daemon=True).start()
+    threading.Thread(target=pump_stderr, daemon=True).start()
+
+    lines = []
+    try:
+        for i, request in enumerate(requests):
+            proc.stdin.write(json.dumps(request) + "\n")
+            proc.stdin.flush()
+            try:
+                line = out_q.get(timeout=REQUEST_TIMEOUT)
+            except queue.Empty:
+                print(f"request {i} ({request.get('verb')}) got no response "
+                      f"within {REQUEST_TIMEOUT:.0f}s — killing fc_serve",
+                      file=sys.stderr)
+                return 1
+            if line is None:
+                print(f"fc_serve died before answering request {i} "
+                      f"({request.get('verb')}): {''.join(stderr_chunks)}",
+                      file=sys.stderr)
+                return 1
+            lines.append(line)
+        proc.stdin.close()
+        try:
+            rc = proc.wait(timeout=REQUEST_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            print(f"fc_serve did not exit within {REQUEST_TIMEOUT:.0f}s of "
+                  f"stdin EOF — killing it", file=sys.stderr)
+            return 1
+        if rc != 0:
+            print(f"fc_serve exited {rc}: {''.join(stderr_chunks)}",
+                  file=sys.stderr)
+            return 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
     responses = [json.loads(line) for line in lines]
     (register, first, second, serial_build, unknown, invalid, over_budget,
      stats) = responses

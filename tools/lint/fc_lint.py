@@ -28,6 +28,35 @@ Rules (see RULES below for scope and details):
                            Timer/Rng abstractions
   umbrella-include         bench/examples reaching past src/api/fastcoreset.h
                            into per-method compression headers
+  layering-violation       src/ include edges that leave the module DAG
+                           declared in tools/lint/layers.toml (--dot-out
+                           emits the actual graph as graphviz)
+  lock-order               fc::Mutex sites missing from (or disagreeing
+                           with) tools/lint/lock_hierarchy.toml, and
+                           lexical acquisition patterns that take a
+                           lower-rank lock while holding a higher one
+  determinism-taint        thread-count/timer-derived values flowing into
+                           chunk/shard plans, sampler seeds, or
+                           non-diagnostics result fields
+
+Project passes
+--------------
+The last three rules are cross-file: they are parameterized by the two
+checked-in config files (tools/lint/layers.toml — the module DAG;
+tools/lint/lock_hierarchy.toml — integer ranks for every long-lived
+Mutex), and the layering pass accumulates the observed module include
+graph across the whole run (`--dot-out graph.dot` writes it; the run
+fails if the ACTUAL graph has a cycle, declared or not). Config errors
+(unparseable TOML, cyclic declared DAG, malformed lock entries) are
+findings like any other.
+
+Fixes
+-----
+`--fix` mechanically rewrites the two include-shaped rules in place:
+umbrella-include lines become `#include "src/api/fastcoreset.h"` and
+raw-mutex includes become `#include "src/common/mutex.h"` (first banned
+include rewritten, duplicates deleted; suppressed lines untouched). The
+rewrite is idempotent — the selftest asserts fix(fix(x)) == fix(x).
 
 Engines
 -------
@@ -56,6 +85,9 @@ Typical invocations (from the repo root):
     python3 tools/lint/fc_lint.py src tools bench examples
     python3 tools/lint/fc_lint.py --selftest
     python3 tools/lint/fc_lint.py --list-rules
+    python3 tools/lint/fc_lint.py --rules layering-violation \
+        --dot-out module_deps.dot src
+    python3 tools/lint/fc_lint.py --fix bench examples
 """
 
 import argparse
@@ -856,6 +888,936 @@ def rule_umbrella_include(path: str,
 
 
 # --------------------------------------------------------------------------
+# Mini-TOML (the dependency-free subset the two config files use)
+# --------------------------------------------------------------------------
+#
+# Supports [table.paths], [[array.of.tables]], and `key = value` with
+# string / integer / boolean / single-line-array values — exactly what
+# layers.toml and lock_hierarchy.toml need, with line numbers preserved
+# so config errors are findings pointing at the offending table.
+
+
+class TomlError(Exception):
+    def __init__(self, line: int, msg: str):
+        super().__init__(msg)
+        self.line = line
+        self.msg = msg
+
+
+def _strip_toml_comment(line: str) -> str:
+    out = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        if ch == "#" and not in_str:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _toml_value(raw: str, line_no: int):
+    raw = raw.strip()
+    if raw.startswith("["):
+        if not raw.endswith("]"):
+            raise TomlError(line_no, "arrays must be single-line")
+        inner = raw[1:-1].strip()
+        if not inner:
+            return []
+        parts, depth, in_str, cur = [], 0, False, []
+        for ch in inner:
+            if ch == '"':
+                in_str = not in_str
+            if not in_str:
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == "," and depth == 0:
+                    parts.append("".join(cur))
+                    cur = []
+                    continue
+            cur.append(ch)
+        parts.append("".join(cur))
+        return [_toml_value(p, line_no) for p in parts]
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        body = raw[1:-1]
+        if '"' in body or "\\" in body:
+            raise TomlError(line_no, "escapes in strings are unsupported")
+        return body
+    if raw in ("true", "false"):
+        return raw == "true"
+    if re.fullmatch(r"-?\d+", raw):
+        return int(raw)
+    raise TomlError(line_no, f"unsupported value {raw!r}")
+
+
+def parse_mini_toml(text: str) -> Dict[str, object]:
+    """Parses the supported TOML subset; tables carry '__line__'."""
+    root: Dict[str, object] = {}
+    current: Dict[str, object] = root
+    for line_no, raw in enumerate(text.split("\n"), start=1):
+        line = _strip_toml_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TomlError(line_no, "malformed [[table]] header")
+            parts = line[2:-2].strip().split(".")
+            target = root
+            for p in parts[:-1]:
+                target = target.setdefault(p, {})  # type: ignore[assignment]
+                if not isinstance(target, dict):
+                    raise TomlError(line_no, "table path collides with a value")
+            arr = target.setdefault(parts[-1], [])
+            if not isinstance(arr, list):
+                raise TomlError(line_no, "[[table]] collides with a value")
+            current = {"__line__": line_no}
+            arr.append(current)
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise TomlError(line_no, "malformed [table] header")
+            parts = line[1:-1].strip().split(".")
+            target = root
+            for p in parts[:-1]:
+                target = target.setdefault(p, {})  # type: ignore[assignment]
+                if not isinstance(target, dict):
+                    raise TomlError(line_no, "table path collides with a value")
+            if parts[-1] in target:
+                raise TomlError(line_no, f"duplicate table [{'.'.join(parts)}]")
+            current = {"__line__": line_no}
+            target[parts[-1]] = current
+        else:
+            m = re.match(r"^([A-Za-z0-9_-]+)\s*=\s*(.+)$", line)
+            if not m:
+                raise TomlError(line_no, f"cannot parse line {line!r}")
+            current[m.group(1)] = _toml_value(m.group(2), line_no)
+    return root
+
+
+# --------------------------------------------------------------------------
+# Project model: module-layering DAG + lock hierarchy
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class LayerConfig:
+    display: str  # path shown in findings
+    modules: Dict[str, List[str]] = field(default_factory=dict)
+    lines: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+
+def load_layer_config(path: str, display: str) -> LayerConfig:
+    cfg = LayerConfig(display)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = parse_mini_toml(f.read())
+    except OSError as e:
+        cfg.findings.append(Finding(display, 1, "layering-violation",
+                                    f"cannot read layers config: {e}"))
+        return cfg
+    except TomlError as e:
+        cfg.findings.append(Finding(display, e.line, "layering-violation",
+                                    f"layers config parse error: {e.msg}"))
+        return cfg
+    modules = data.get("modules")
+    if not isinstance(modules, dict) or not modules:
+        cfg.findings.append(Finding(
+            display, 1, "layering-violation",
+            "layers config declares no [modules.<name>] tables"))
+        return cfg
+    for name, tbl in modules.items():
+        if not isinstance(tbl, dict):
+            cfg.findings.append(Finding(
+                display, 1, "layering-violation",
+                f"[modules.{name}] is not a table"))
+            continue
+        line = int(tbl.get("__line__", 1))  # type: ignore[arg-type]
+        deps = tbl.get("deps")
+        if not isinstance(deps, list) or \
+                not all(isinstance(d, str) for d in deps):
+            cfg.findings.append(Finding(
+                display, line, "layering-violation",
+                f"[modules.{name}] needs `deps = [\"...\"]`"))
+            deps = []
+        cfg.modules[name] = list(deps)  # type: ignore[arg-type]
+        cfg.lines[name] = line
+    for name in sorted(cfg.modules):
+        for dep in cfg.modules[name]:
+            if dep == name:
+                cfg.findings.append(Finding(
+                    display, cfg.lines[name], "layering-violation",
+                    f"[modules.{name}] lists itself as a dep"))
+            elif dep not in cfg.modules:
+                cfg.findings.append(Finding(
+                    display, cfg.lines[name], "layering-violation",
+                    f"[modules.{name}] dep '{dep}' is not a declared module"))
+    # The declared graph must itself be a DAG: a cycle here would make
+    # "upward edge" meaningless.
+    for cycle in _find_cycles(cfg.modules):
+        cfg.findings.append(Finding(
+            display, cfg.lines.get(cycle[0], 1), "layering-violation",
+            "declared module graph has a cycle: " + " -> ".join(cycle)))
+    return cfg
+
+
+def _find_cycles(graph: Dict[str, List[str]]) -> List[List[str]]:
+    """Distinct back-edge cycles of `graph` (node -> successors)."""
+    cycles: List[List[str]] = []
+    state: Dict[str, int] = {}  # 0/absent = new, 1 = on stack, 2 = done
+
+    def dfs(node: str, stack: List[str]) -> None:
+        state[node] = 1
+        for succ in graph.get(node, []):
+            if succ not in graph:
+                continue
+            if state.get(succ) == 1:
+                at = stack.index(succ)
+                cycles.append(stack[at:] + [succ])
+            elif state.get(succ, 0) == 0:
+                dfs(succ, stack + [succ])
+        state[node] = 2
+
+    for start in sorted(graph):
+        if state.get(start, 0) == 0:
+            dfs(start, [start])
+    return cycles
+
+
+@dataclass
+class LockSite:
+    name: str
+    rank: int
+    constant: str
+    member: str
+    files: List[str]
+    line: int
+
+
+@dataclass
+class LockHierarchy:
+    display: str
+    sites: List[LockSite] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    def site_for_decl(self, member: str, path: str) -> Optional[LockSite]:
+        for site in self.sites:
+            if site.member == member and path in site.files:
+                return site
+        return None
+
+    def rank_of_member(self, member: str,
+                       path: str) -> Optional[Tuple[int, str]]:
+        """Rank for an acquisition of `member` seen in `path`: an exact
+        file match wins; otherwise a globally unique member name; else
+        unknown (None) and the acquisition is not order-checked."""
+        site = self.site_for_decl(member, path)
+        if site is not None:
+            return site.rank, site.name
+        matches = [s for s in self.sites if s.member == member]
+        if len(matches) == 1:
+            return matches[0].rank, matches[0].name
+        return None
+
+
+_LOCK_REQUIRED_KEYS = ("name", "rank", "constant", "member", "files")
+
+
+def load_lock_hierarchy(path: str, display: str) -> LockHierarchy:
+    hier = LockHierarchy(display)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = parse_mini_toml(f.read())
+    except OSError as e:
+        hier.findings.append(Finding(display, 1, "lock-order",
+                                     f"cannot read lock hierarchy: {e}"))
+        return hier
+    except TomlError as e:
+        hier.findings.append(Finding(display, e.line, "lock-order",
+                                     f"lock hierarchy parse error: {e.msg}"))
+        return hier
+    entries = data.get("lock")
+    if not isinstance(entries, list) or not entries:
+        hier.findings.append(Finding(
+            display, 1, "lock-order",
+            "lock hierarchy declares no [[lock]] entries"))
+        return hier
+    seen_names: Set[str] = set()
+    seen_ranks: Dict[int, str] = {}
+    for tbl in entries:
+        line = int(tbl.get("__line__", 1))
+        missing = [k for k in _LOCK_REQUIRED_KEYS if k not in tbl]
+        if missing:
+            hier.findings.append(Finding(
+                display, line, "lock-order",
+                f"[[lock]] entry is missing {', '.join(missing)}"))
+            continue
+        name, rank = tbl["name"], tbl["rank"]
+        constant, member, files = tbl["constant"], tbl["member"], tbl["files"]
+        if not isinstance(rank, int) or rank <= 0:
+            hier.findings.append(Finding(
+                display, line, "lock-order",
+                f"[[lock]] '{name}' rank must be a positive integer "
+                f"(0 is the unranked sentinel)"))
+            continue
+        if not isinstance(files, list) or \
+                not all(isinstance(x, str) for x in files):
+            hier.findings.append(Finding(
+                display, line, "lock-order",
+                f"[[lock]] '{name}' needs `files = [\"...\"]`"))
+            continue
+        if name in seen_names:
+            hier.findings.append(Finding(
+                display, line, "lock-order",
+                f"duplicate [[lock]] name '{name}'"))
+            continue
+        if rank in seen_ranks:
+            hier.findings.append(Finding(
+                display, line, "lock-order",
+                f"[[lock]] '{name}' reuses rank {rank} of "
+                f"'{seen_ranks[rank]}' — ranks are a total order"))
+            continue
+        seen_names.add(name)
+        seen_ranks[rank] = str(name)
+        hier.sites.append(LockSite(str(name), rank, str(constant),
+                                   str(member), list(files), line))
+    return hier
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file state threaded through a lint run: the two configs and
+    the observed module include graph (for --dot-out and cycle checks)."""
+    layers: LayerConfig
+    locks: LockHierarchy
+    # (from_module, to_module) -> (example file, line)
+    module_edges: Dict[Tuple[str, str], Tuple[str, int]] = \
+        field(default_factory=dict)
+
+    def config_findings(self) -> List[Finding]:
+        return list(self.layers.findings) + list(self.locks.findings)
+
+
+def make_context(layers_path: str, locks_path: str,
+                 layers_display: Optional[str] = None,
+                 locks_display: Optional[str] = None) -> ProjectContext:
+    return ProjectContext(
+        load_layer_config(layers_path,
+                          layers_display or layers_path.replace(os.sep, "/")),
+        load_lock_hierarchy(locks_path,
+                            locks_display or locks_path.replace(os.sep, "/")))
+
+
+def _module_of(path: str) -> Optional[str]:
+    parts = path.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def record_module_edges(path: str, includes: List[Tuple[int, str, bool]],
+                        ctx: "ProjectContext") -> None:
+    mod = _module_of(path)
+    if mod is None:
+        return
+    for line, inc, angled in includes:
+        if angled or not inc.startswith("src/"):
+            continue
+        parts = inc.split("/")
+        if len(parts) < 3:
+            continue
+        target = parts[1]
+        if target != mod and (mod, target) not in ctx.module_edges:
+            ctx.module_edges[(mod, target)] = (path, line)
+
+
+# --------------------------------------------------------------------------
+# Rule 7: layering-violation
+# --------------------------------------------------------------------------
+
+
+def rule_layering_violation(path: str,
+                            includes: List[Tuple[int, str, bool]],
+                            ctx: "ProjectContext") -> List[Finding]:
+    findings: List[Finding] = []
+    mod = _module_of(path)
+    declared = ctx.layers.modules
+    if mod is None or not declared:
+        return findings
+    if mod not in declared:
+        findings.append(Finding(
+            path, 1, "layering-violation",
+            f"module 'src/{mod}' is not declared in {ctx.layers.display}; "
+            f"add a [modules.{mod}] table with its allowed deps"))
+        return findings
+    allowed = declared[mod]
+    for line, inc, angled in includes:
+        if angled or not inc.startswith("src/"):
+            continue
+        parts = inc.split("/")
+        if len(parts) < 3:
+            continue
+        target = parts[1]
+        if target == mod:
+            continue
+        if target not in declared:
+            findings.append(Finding(
+                path, line, "layering-violation",
+                f"include of 'src/{target}/...' but '{target}' is not a "
+                f"declared module in {ctx.layers.display}"))
+        elif target not in allowed:
+            findings.append(Finding(
+                path, line, "layering-violation",
+                f"layering violation: src/{mod} may not include "
+                f"src/{target} (declared deps of '{mod}': "
+                f"{', '.join(allowed) if allowed else 'none'}; adding the "
+                f"edge is an architecture decision — see "
+                f"{ctx.layers.display})"))
+    return findings
+
+
+def write_module_dot(dot_path: str, ctx: "ProjectContext") -> List[List[str]]:
+    """Writes the observed module graph as graphviz; returns any cycles
+    in the ACTUAL graph (the caller fails the run on them)."""
+    declared = ctx.layers.modules
+    edges = sorted(ctx.module_edges)
+    nodes = sorted(set(declared) |
+                   {a for a, _ in edges} | {b for _, b in edges})
+    lines = [
+        "// Actual src/ module include graph, emitted by fc_lint.py "
+        "--dot-out.",
+        "// Red edges violate tools/lint/layers.toml; the CI deps-graph "
+        "step renders and uploads this.",
+        "digraph fc_modules {",
+        "  rankdir = \"BT\";",
+        "  node [shape=box, fontname=\"Helvetica\"];",
+    ]
+    for n in nodes:
+        lines.append(f"  \"{n}\";")
+    for a, b in edges:
+        src_file, src_line = ctx.module_edges[(a, b)]
+        ok = a in declared and b in declared.get(a, [])
+        attrs = "" if ok or not declared else \
+            f" [color=red, penwidth=2, label=\"{src_file}:{src_line}\"]"
+        lines.append(f"  \"{a}\" -> \"{b}\"{attrs};")
+    lines.append("}")
+    with open(dot_path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+    actual: Dict[str, List[str]] = {n: [] for n in nodes}
+    for a, b in edges:
+        actual[a].append(b)
+    return _find_cycles(actual)
+
+
+# --------------------------------------------------------------------------
+# Rule 8: lock-order
+# --------------------------------------------------------------------------
+
+_LOCK_ATTR_MACROS = {
+    "FC_ACQUIRED_AFTER", "FC_ACQUIRED_BEFORE", "FC_GUARDED_BY",
+    "FC_PT_GUARDED_BY",
+}
+
+
+def _match_group(tokens: List[Token], at: int, open_t: str,
+                 close_t: str) -> int:
+    """`at` indexes the opening token; returns the matching close index
+    (or len(tokens) on imbalance)."""
+    depth = 0
+    i = at
+    while i < len(tokens):
+        t = tokens[i]
+        if t.kind == "punct":
+            if t.text == open_t:
+                depth += 1
+            elif t.text == close_t:
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return len(tokens)
+
+
+def rule_lock_order(path: str, tokens: List[Token],
+                    ctx: "ProjectContext") -> List[Finding]:
+    findings: List[Finding] = []
+    hier = ctx.locks
+    n = len(tokens)
+
+    # Pass A: every fc::Mutex declaration must carry a rank that agrees
+    # with the hierarchy file. (Skipped when the hierarchy failed to
+    # load — its own config findings gate the run instead.)
+    i = 0
+    while i < n and hier.sites:
+        tok = tokens[i]
+        if not (tok.kind == "id" and tok.text == "Mutex"):
+            i += 1
+            continue
+        prv = tokens[i - 1] if i > 0 else None
+        if prv is not None and (
+                (prv.kind == "punct" and prv.text in ("::", ".", "->", "<"))
+                or (prv.kind == "id" and prv.text in
+                    ("class", "struct", "friend", "enum", "using"))):
+            i += 1
+            continue
+        j = i + 1
+        if j >= n or tokens[j].kind != "id":
+            i += 1
+            continue
+        name_tok = tokens[j]
+        j += 1
+        while j + 1 < n and tokens[j].kind == "id" and \
+                tokens[j].text in _LOCK_ATTR_MACROS and \
+                tokens[j + 1].kind == "punct" and tokens[j + 1].text == "(":
+            j = _match_group(tokens, j + 1, "(", ")") + 1
+        if j >= n:
+            break
+        t = tokens[j]
+        if t.kind == "punct" and t.text == ";":
+            findings.append(Finding(
+                path, name_tok.line, "lock-order",
+                f"unranked Mutex '{name_tok.text}': long-lived mutexes "
+                f"declare their tier (`Mutex {name_tok.text}"
+                f"{{lock_rank::k...}};`) and an entry in {hier.display} "
+                f"so lock-order can check acquisitions against it"))
+            i = j
+            continue
+        if t.kind == "punct" and t.text in ("{", "("):
+            close = _match_group(tokens, j, t.text,
+                                 "}" if t.text == "{" else ")")
+            init_texts = {tk.text for tk in tokens[j:close + 1]}
+            site = hier.site_for_decl(name_tok.text, path)
+            if site is None:
+                findings.append(Finding(
+                    path, name_tok.line, "lock-order",
+                    f"ranked Mutex '{name_tok.text}' has no [[lock]] entry "
+                    f"for {path} in {hier.display}"))
+            elif site.constant not in init_texts:
+                findings.append(Finding(
+                    path, name_tok.line, "lock-order",
+                    f"Mutex '{name_tok.text}' must be initialized with "
+                    f"lock_rank::{site.constant} (rank {site.rank}) per "
+                    f"{hier.display}"))
+            i = close if close > i else j
+            continue
+        i = j
+
+    # Pass B: lexical acquisition order per function body. Held locks
+    # come from MutexLock RAII scopes, manual Lock()/Unlock() pairs, and
+    # the FC_REQUIRES context of the enclosing signature; acquiring a
+    # rank <= any held rank is an inversion.
+    for lo, hi in _function_bodies(tokens):
+        # (scope depth at acquisition, lock expr, rank, site name);
+        # depth -1 = held for the whole body (FC_REQUIRES).
+        held: List[Tuple[int, str, Optional[int], Optional[str]]] = []
+
+        def acquire(lock_name: Optional[str], depth: int, line: int) -> None:
+            resolved = hier.rank_of_member(lock_name, path) \
+                if lock_name else None
+            rank, site_name = resolved if resolved else (None, None)
+            if rank is not None:
+                for _, held_lock, held_rank, held_site in held:
+                    if held_rank is not None and rank <= held_rank:
+                        findings.append(Finding(
+                            path, line, "lock-order",
+                            f"lock-order inversion: acquiring "
+                            f"'{lock_name}' (rank {rank}, {site_name}) "
+                            f"while holding '{held_lock}' (rank "
+                            f"{held_rank}, {held_site}); lower ranks are "
+                            f"outer — see {hier.display}"))
+            held.append((depth, lock_name or "?", rank, site_name))
+
+        def release(lock_name: str) -> None:
+            for k in range(len(held) - 1, -1, -1):
+                if held[k][1] == lock_name:
+                    del held[k]
+                    return
+
+        # Seed from FC_REQUIRES between the previous statement boundary
+        # and the body's opening brace.
+        sig_lo = 0
+        k = lo - 1
+        while k >= 0:
+            if tokens[k].kind == "punct" and tokens[k].text in (";", "}",
+                                                               "{"):
+                sig_lo = k + 1
+                break
+            k -= 1
+        k = sig_lo
+        while k < lo:
+            if tokens[k].kind == "id" and \
+                    tokens[k].text in ("FC_REQUIRES",
+                                       "FC_EXCLUSIVE_LOCKS_REQUIRED") and \
+                    k + 1 < lo and tokens[k + 1].text == "(":
+                close = _match_group(tokens, k + 1, "(", ")")
+                for tk in tokens[k + 2:min(close, lo)]:
+                    if tk.kind == "id":
+                        resolved = hier.rank_of_member(tk.text, path)
+                        if resolved is not None:
+                            held.append((-1, tk.text, resolved[0],
+                                         resolved[1]))
+                k = close
+            k += 1
+
+        depth = 0
+        idx = lo
+        while idx < hi:
+            t = tokens[idx]
+            if t.kind == "punct":
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth -= 1
+                    held[:] = [h for h in held if h[0] <= depth]
+                idx += 1
+                continue
+            if t.kind == "id" and t.text == "MutexLock" and idx + 2 < hi \
+                    and tokens[idx + 1].kind == "id" and \
+                    tokens[idx + 2].kind == "punct" and \
+                    tokens[idx + 2].text in ("(", "{"):
+                open_t = tokens[idx + 2].text
+                close = _match_group(tokens, idx + 2, open_t,
+                                     ")" if open_t == "(" else "}")
+                arg_ids = [tk.text for tk in tokens[idx + 3:close]
+                           if tk.kind == "id"]
+                acquire(arg_ids[-1] if arg_ids else None, depth, t.line)
+                idx = close + 1
+                continue
+            if t.kind == "id" and idx + 3 < hi and \
+                    tokens[idx + 1].kind == "punct" and \
+                    tokens[idx + 1].text == "." and \
+                    tokens[idx + 2].kind == "id" and \
+                    tokens[idx + 2].text in ("Lock", "Unlock") and \
+                    tokens[idx + 3].text == "(":
+                if tokens[idx + 2].text == "Lock":
+                    acquire(t.text, depth, t.line)
+                else:
+                    release(t.text)
+                idx += 4
+                continue
+            idx += 1
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule 9: determinism-taint
+# --------------------------------------------------------------------------
+
+# Sources: expressions whose value depends on worker count or wall clock.
+_TAINT_SOURCE_CALLS = {
+    "GetNumThreads", "ThreadPoolWorkerCount", "hardware_concurrency",
+}
+_TAINT_ENV_CALLS = {"EnvInt", "EnvDouble", "getenv", "secure_getenv"}
+_TIMER_READS = {"Seconds", "Millis"}
+
+# Sinks. Chunk/shard planning is first-argument-only: the planned extent
+# must be a function of n alone (trailing arguments are bodies/options
+# that may legitimately capture budgets for diagnostics).
+_TAINT_CHUNK_SINKS = {
+    "ParallelFor", "ParallelForChunks", "ParallelReduce",
+    "ParallelChunkCount", "PlanChunks", "PlanShards", "EffectiveShardCount",
+}
+_TAINT_SEED_SINKS = {"DeriveBuildSeed", "SplitMix64", "Rng"}
+_TAINT_RESULT_TYPES = {"Coreset", "BuildResult", "BuildResponse"}
+
+
+def _collect_typed_vars(tokens: List[Token],
+                        type_names: Set[str]) -> Dict[str, str]:
+    """NAME -> type for `Type [&*] NAME ...` declarations and params."""
+    out: Dict[str, str] = {}
+    for i in range(len(tokens) - 2):
+        t = tokens[i]
+        if t.kind != "id" or t.text not in type_names:
+            continue
+        prv = tokens[i - 1] if i > 0 else None
+        if prv is not None and prv.kind == "punct" and \
+                prv.text in ("::", ".", "->", "<"):
+            continue
+        j = i + 1
+        while j < len(tokens) and tokens[j].kind == "punct" and \
+                tokens[j].text in ("&", "*"):
+            j += 1
+        if j + 1 >= len(tokens) or tokens[j].kind != "id":
+            continue
+        nxt = tokens[j + 1]
+        if nxt.kind == "punct" and nxt.text in (";", "=", "{", "(", ",",
+                                                ")"):
+            out[tokens[j].text] = t.text
+    return out
+
+
+def _span_has_taint(tokens: List[Token], lo: int, hi: int,
+                    timer_vars: Set[str], tainted: Set[str]) -> bool:
+    """True when [lo, hi) contains a taint source or a tainted name."""
+    k = lo
+    while k < hi:
+        t = tokens[k]
+        if t.kind == "id":
+            prv = tokens[k - 1] if k > lo else None
+            is_member = prv is not None and prv.kind == "punct" and \
+                prv.text in (".", "->")
+            nxt = tokens[k + 1] if k + 1 < hi else None
+            calls = nxt is not None and nxt.kind == "punct" and \
+                nxt.text == "("
+            if t.text in tainted and not is_member:
+                return True
+            if t.text in _TAINT_SOURCE_CALLS and calls:
+                return True
+            if t.text in _TAINT_ENV_CALLS and calls and not is_member:
+                close = _match_group(tokens, k + 1, "(", ")")
+                if any(tk.kind == "str" and "FC_THREADS" in tk.text
+                       for tk in tokens[k + 2:min(close, hi)]):
+                    return True
+            if t.text in timer_vars and not is_member and k + 3 < hi and \
+                    tokens[k + 1].text == "." and \
+                    tokens[k + 2].kind == "id" and \
+                    tokens[k + 2].text in _TIMER_READS and \
+                    tokens[k + 3].text == "(":
+                return True
+        k += 1
+    return False
+
+
+def _statements(tokens: List[Token], lo: int,
+                hi: int) -> List[Tuple[int, int]]:
+    """Statement-ish token spans of a body: split on `;` outside parens
+    and on every brace (so block contents are their own spans)."""
+    out: List[Tuple[int, int]] = []
+    start = lo + 1
+    pdepth = 0
+    for k in range(lo + 1, hi):
+        t = tokens[k]
+        if t.kind != "punct":
+            continue
+        if t.text in ("(", "["):
+            pdepth += 1
+        elif t.text in (")", "]"):
+            pdepth = max(0, pdepth - 1)
+        elif (t.text == ";" and pdepth == 0) or t.text in ("{", "}"):
+            if k > start:
+                out.append((start, k))
+            start = k + 1
+            pdepth = 0
+    if hi > start:
+        out.append((start, hi))
+    return out
+
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
+               ">>="}
+
+
+def _find_assign(tokens: List[Token], s: int, e: int) -> Optional[int]:
+    pdepth = 0
+    for k in range(s, e):
+        t = tokens[k]
+        if t.kind != "punct":
+            continue
+        if t.text in ("(", "["):
+            pdepth += 1
+        elif t.text in (")", "]"):
+            pdepth -= 1
+        elif pdepth == 0 and t.text in _ASSIGN_OPS:
+            return k
+    return None
+
+
+def _lhs_chain(tokens: List[Token], s: int,
+               eq: int) -> Optional[Tuple[str, List[str]]]:
+    """(base variable, member path) of the lvalue ending at `eq`."""
+    k = eq - 1
+    parts: List[str] = []
+    while k >= s:
+        t = tokens[k]
+        if t.kind == "punct" and t.text == "]":
+            depth = 1
+            k -= 1
+            while k >= s and depth:
+                if tokens[k].text == "]":
+                    depth += 1
+                elif tokens[k].text == "[":
+                    depth -= 1
+                k -= 1
+            continue
+        if t.kind == "id":
+            parts.append(t.text)
+            k -= 1
+            if k >= s and tokens[k].kind == "punct" and \
+                    tokens[k].text in (".", "->"):
+                k -= 1
+                continue
+            break
+        return None
+    if not parts:
+        return None
+    parts.reverse()
+    return parts[0], parts[1:]
+
+
+def _first_arg_end(tokens: List[Token], open_idx: int, close: int) -> int:
+    pdepth = 0
+    for k in range(open_idx, close):
+        t = tokens[k]
+        if t.kind != "punct":
+            continue
+        if t.text in ("(", "[", "{"):
+            pdepth += 1
+        elif t.text in (")", "]", "}"):
+            pdepth -= 1
+        elif t.text == "," and pdepth == 1:
+            return k
+    return close
+
+
+def rule_determinism_taint(path: str,
+                           tokens: List[Token]) -> List[Finding]:
+    findings: List[Finding] = []
+    timer_vars = set(_collect_typed_vars(tokens, {"Timer"}))
+    result_vars = _collect_typed_vars(tokens, _TAINT_RESULT_TYPES)
+    for lo, hi in _function_bodies(tokens):
+        spans = _statements(tokens, lo, hi)
+        tainted: Set[str] = set()
+        # Fixpoint: a variable assigned from a source (or from another
+        # tainted variable) is tainted. Bounded — each pass only adds.
+        for _ in range(8):
+            changed = False
+            for s, e in spans:
+                eq = _find_assign(tokens, s, e)
+                if eq is None:
+                    continue
+                if not _span_has_taint(tokens, eq + 1, e, timer_vars,
+                                       tainted):
+                    continue
+                chain = _lhs_chain(tokens, s, eq)
+                if chain is None:
+                    continue
+                base, members = chain
+                if not members and base not in tainted:
+                    tainted.add(base)
+                    changed = True
+            if not changed:
+                break
+        # Sink 1: member assignments — sampler seeds anywhere, and
+        # non-diagnostics fields of result types.
+        for s, e in spans:
+            eq = _find_assign(tokens, s, e)
+            if eq is None:
+                continue
+            if not _span_has_taint(tokens, eq + 1, e, timer_vars, tainted):
+                continue
+            chain = _lhs_chain(tokens, s, eq)
+            if chain is None:
+                continue
+            base, members = chain
+            if not members:
+                continue
+            dotted = base + "." + ".".join(members)
+            if members[-1] == "seed":
+                findings.append(Finding(
+                    path, tokens[eq].line, "determinism-taint",
+                    f"thread-count/timer-derived value assigned into "
+                    f"sampler seed '{dotted}' — results must be a "
+                    f"function of (data, spec, seed) alone"))
+            elif base in result_vars and members[0] != "diagnostics":
+                findings.append(Finding(
+                    path, tokens[eq].line, "determinism-taint",
+                    f"thread-count/timer-derived value flows into "
+                    f"{result_vars[base]} field '{dotted}'; only "
+                    f"diagnostics may depend on scheduling — results are "
+                    f"bit-identical at any FC_THREADS"))
+        # Sink 2: call-shaped sinks.
+        k = lo
+        while k < hi:
+            t = tokens[k]
+            if t.kind == "id" and k + 1 < hi and \
+                    tokens[k + 1].kind == "punct" and \
+                    tokens[k + 1].text == "(" and \
+                    t.text in (_TAINT_CHUNK_SINKS | _TAINT_SEED_SINKS):
+                close = _match_group(tokens, k + 1, "(", ")")
+                if t.text in _TAINT_CHUNK_SINKS:
+                    arg_end = _first_arg_end(tokens, k + 1, close)
+                    if _span_has_taint(tokens, k + 2, arg_end, timer_vars,
+                                       tainted):
+                        findings.append(Finding(
+                            path, t.line, "determinism-taint",
+                            f"thread-count/timer-derived value flows into "
+                            f"the chunk/shard plan via '{t.text}(...)' — "
+                            f"the plan must depend on n alone (the "
+                            f"bit-reproducibility contract)"))
+                elif _span_has_taint(tokens, k + 2, close, timer_vars,
+                                     tainted):
+                    findings.append(Finding(
+                        path, t.line, "determinism-taint",
+                        f"thread-count/timer-derived value flows into "
+                        f"seed derivation '{t.text}(...)' — seeds come "
+                        f"from (spec seed, shard index) alone"))
+                k = close + 1
+                continue
+            # Rng NAME(expr) / Rng NAME{expr} declarations.
+            if t.kind == "id" and t.text == "Rng" and k + 2 < hi and \
+                    tokens[k + 1].kind == "id" and \
+                    tokens[k + 2].kind == "punct" and \
+                    tokens[k + 2].text in ("(", "{"):
+                open_t = tokens[k + 2].text
+                close = _match_group(tokens, k + 2, open_t,
+                                     ")" if open_t == "(" else "}")
+                if _span_has_taint(tokens, k + 3, close, timer_vars,
+                                   tainted):
+                    findings.append(Finding(
+                        path, t.line, "determinism-taint",
+                        f"Rng '{tokens[k + 1].text}' seeded from a "
+                        f"thread-count/timer-derived value — sampler "
+                        f"state must derive from the spec seed alone"))
+                k = close + 1
+                continue
+            k += 1
+    return findings
+
+
+# --------------------------------------------------------------------------
+# --fix: mechanical rewrites for the include-shaped rules
+# --------------------------------------------------------------------------
+
+
+def apply_fixes(rel_path: str, text: str) -> Tuple[str, int]:
+    """Rewrites umbrella-include / raw-mutex include findings in `text`:
+    the first banned include becomes the blessed one (unless it is
+    already present), later ones are deleted. Suppressed lines are left
+    alone. Idempotent. Returns (new text, fixes applied)."""
+    lex = lex_builtin(text)
+    includes = extract_includes(lex.stripped)
+    sup = parse_suppressions(rel_path, lex, KNOWN_RULES)
+    lines: List[Optional[str]] = list(text.split("\n"))
+    fixes = 0
+    plans = [
+        ("umbrella-include", "src/api/fastcoreset.h",
+         [line for line, inc, angled in includes
+          if not angled and _METHOD_HEADERS.match(inc)]),
+        ("raw-mutex", "src/common/mutex.h",
+         [line for line, inc, angled in includes
+          if angled and inc in _RAW_MUTEX_INCLUDES]),
+    ]
+    for rule, target, bad_lines in plans:
+        if rule not in RULES or not RULES[rule]["scope"](rel_path):  # type: ignore[operator]
+            continue
+        has_target = any(not angled and inc == target
+                         for _, inc, angled in includes)
+        for ln in bad_lines:
+            if rule in sup.by_line.get(ln, set()):
+                continue
+            if has_target:
+                lines[ln - 1] = None
+            else:
+                lines[ln - 1] = f'#include "{target}"'
+                has_target = True
+            fixes += 1
+    if not fixes:
+        return text, 0
+    return "\n".join(l for l in lines if l is not None), fixes
+
+
+# --------------------------------------------------------------------------
 # Rule table: id -> (scope predicate, runner docstring)
 # --------------------------------------------------------------------------
 
@@ -885,6 +1847,20 @@ def _scope_entropy(p: str) -> bool:
 
 def _scope_umbrella(p: str) -> bool:
     return _under(p, ["bench", "examples"])
+
+
+def _scope_layering(p: str) -> bool:
+    return _under(p, ["src"])
+
+
+def _scope_lock_order(p: str) -> bool:
+    # mutex.h itself hosts the rank constants, the never-locked tier
+    # sentinels, and the runtime checker — all unranked by design.
+    return _under(p, ["src"]) and p != "src/common/mutex.h"
+
+
+def _scope_det_taint(p: str) -> bool:
+    return _under(p, ["src"])
 
 
 RULES: Dict[str, Dict[str, object]] = {
@@ -919,11 +1895,31 @@ RULES: Dict[str, Dict[str, object]] = {
         "doc": "bench/ and examples/ including per-method compression "
                "headers instead of src/api/fastcoreset.h.",
     },
+    "layering-violation": {
+        "scope": _scope_layering,
+        "doc": "src/<mod> including a module outside its declared deps in "
+               "tools/lint/layers.toml (upward or undeclared edge).",
+    },
+    "lock-order": {
+        "scope": _scope_lock_order,
+        "doc": "fc::Mutex declarations without a rank/hierarchy entry, and "
+               "lexical acquisitions that invert the rank order in "
+               "tools/lint/lock_hierarchy.toml.",
+    },
+    "determinism-taint": {
+        "scope": _scope_det_taint,
+        "doc": "thread-count/timer-derived values flowing into chunk "
+               "plans, sampler seeds, or non-diagnostics result fields.",
+    },
     # bad-suppression is emitted by the suppression parser itself; it is
     # listed so allow(bad-suppression) is rejected as self-referential.
 }
 
 KNOWN_RULES: Set[str] = set(RULES.keys())
+
+# Project passes: need 2+ firing and 2+ clean fixtures each (the richer
+# analyses have more ways to rot than a token scan).
+_NEW_RULES = {"layering-violation", "lock-order", "determinism-taint"}
 
 
 _INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(?:"([^"]+)"|<([^>]+)>)')
@@ -947,7 +1943,8 @@ def extract_includes(stripped: str) -> List[Tuple[int, str, bool]]:
 
 
 def lint_file(rel_path: str, text: str, engine: str,
-              abs_path: str, active_rules: Set[str]) -> List[Finding]:
+              abs_path: str, active_rules: Set[str],
+              ctx: Optional["ProjectContext"] = None) -> List[Finding]:
     lex = lex_builtin(text)
     if engine == "clang":
         tokens = lex_clang(abs_path, text)
@@ -955,6 +1952,11 @@ def lint_file(rel_path: str, text: str, engine: str,
         tokens = lex.tokens
     includes = extract_includes(lex.stripped)
     sup = parse_suppressions(rel_path, lex, KNOWN_RULES)
+
+    if ctx is not None:
+        # Edge recording feeds --dot-out and is independent of which
+        # rules are active — the graph artifact shows the whole tree.
+        record_module_edges(rel_path, includes, ctx)
 
     findings: List[Finding] = list(sup.findings)
     rule_runners = {
@@ -968,7 +1970,14 @@ def lint_file(rel_path: str, text: str, engine: str,
         "banned-entropy":
             lambda: rule_banned_entropy(rel_path, tokens, includes),
         "umbrella-include": lambda: rule_umbrella_include(rel_path, includes),
+        "determinism-taint":
+            lambda: rule_determinism_taint(rel_path, tokens),
     }
+    if ctx is not None:
+        rule_runners["layering-violation"] = \
+            lambda: rule_layering_violation(rel_path, includes, ctx)
+        rule_runners["lock-order"] = \
+            lambda: rule_lock_order(rel_path, tokens, ctx)
     for rule_id, runner in rule_runners.items():
         if rule_id not in active_rules:
             continue
@@ -1016,11 +2025,30 @@ def files_from_compile_commands(root: str, cc_path: str) -> List[str]:
 
 def run_lint(root: str, files: Sequence[str], engine: str,
              baseline: Dict[Tuple[str, str], int],
-             active_rules: Set[str]) -> Tuple[List[Finding], List[Finding]]:
+             active_rules: Set[str],
+             ctx: Optional["ProjectContext"] = None,
+             ) -> Tuple[List[Finding], List[Finding]]:
     """Returns (blocking findings, baselined findings)."""
     blocking: List[Finding] = []
     baselined: List[Finding] = []
     remaining = dict(baseline)
+
+    def classify(finding: Finding) -> None:
+        key = (finding.path, finding.rule)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            finding.baselined = True
+            baselined.append(finding)
+        else:
+            blocking.append(finding)
+
+    # Config errors surface as findings of the rule they break, so a
+    # malformed hierarchy can never silently disable its pass.
+    if ctx is not None:
+        for finding in ctx.config_findings():
+            if finding.rule in active_rules:
+                classify(finding)
+
     for rel in files:
         abs_path = os.path.join(root, rel)
         try:
@@ -1029,14 +2057,9 @@ def run_lint(root: str, files: Sequence[str], engine: str,
         except OSError as e:
             print(f"fc_lint: cannot read {rel}: {e}", file=sys.stderr)
             continue
-        for finding in lint_file(rel, text, engine, abs_path, active_rules):
-            key = (finding.path, finding.rule)
-            if remaining.get(key, 0) > 0:
-                remaining[key] -= 1
-                finding.baselined = True
-                baselined.append(finding)
-            else:
-                blocking.append(finding)
+        for finding in lint_file(rel, text, engine, abs_path, active_rules,
+                                 ctx):
+            classify(finding)
     return blocking, baselined
 
 
@@ -1053,21 +2076,34 @@ def run_selftest(engine: str) -> int:
         manifest = json.load(f)
 
     failures = 0
-    fired_rules: Set[str] = set()
-    clean_rules: Set[str] = set()
+    fired_rules: Dict[str, int] = {}
+    clean_rules: Dict[str, int] = {}
     for case in manifest["cases"]:
         fixture = os.path.join(fixture_dir, case["file"])
         virtual = case["path"]
         with open(fixture, "r", encoding="utf-8") as f:
             text = f.read()
-        got = lint_file(virtual, text, engine, fixture, KNOWN_RULES)
+        # Cases default to the repo's real configs (so fixtures double as
+        # a check on those files); a case may override either one with a
+        # fixture-local toml to exercise config-error paths.
+        layers_file = case.get("layers")
+        locks_file = case.get("lock_hierarchy")
+        ctx = make_context(
+            os.path.join(fixture_dir, layers_file) if layers_file
+            else os.path.join(here, "layers.toml"),
+            os.path.join(fixture_dir, locks_file) if locks_file
+            else os.path.join(here, "lock_hierarchy.toml"),
+            layers_display=layers_file or "tools/lint/layers.toml",
+            locks_display=locks_file or "tools/lint/lock_hierarchy.toml")
+        got = lint_file(virtual, text, engine, fixture, KNOWN_RULES, ctx)
+        got += [f for f in ctx.config_findings()]
         got_set = sorted((f.rule, f.line) for f in got)
         want_set = sorted((e["rule"], e["line"]) for e in case["expect"])
         for rule in case.get("exercises", []):
             if any(r == rule for r, _ in want_set):
-                fired_rules.add(rule)
+                fired_rules[rule] = fired_rules.get(rule, 0) + 1
             else:
-                clean_rules.add(rule)
+                clean_rules[rule] = clean_rules.get(rule, 0) + 1
         if got_set != want_set:
             failures += 1
             print(f"FAIL {case['file']} (as {virtual})")
@@ -1078,21 +2114,48 @@ def run_selftest(engine: str) -> int:
         else:
             print(f"ok   {case['file']} ({len(want_set)} findings)")
 
-    # Corpus completeness: every rule must have at least one firing and one
-    # non-firing fixture, so a rule can neither silently die nor
-    # over-trigger without the selftest noticing.
+    # Golden --fix fixtures: rewriting `file` must yield `golden` exactly,
+    # and rewriting `golden` again must be a no-op (idempotence).
+    for case in manifest.get("fix_cases", []):
+        with open(os.path.join(fixture_dir, case["file"]),
+                  "r", encoding="utf-8") as f:
+            before = f.read()
+        with open(os.path.join(fixture_dir, case["golden"]),
+                  "r", encoding="utf-8") as f:
+            golden = f.read()
+        fixed, n = apply_fixes(case["path"], before)
+        if fixed != golden or n == 0:
+            failures += 1
+            print(f"FAIL fix {case['file']}: output does not match "
+                  f"{case['golden']} ({n} fixes)")
+        refixed, n2 = apply_fixes(case["path"], golden)
+        if refixed != golden or n2 != 0:
+            failures += 1
+            print(f"FAIL fix {case['file']}: --fix is not idempotent "
+                  f"({n2} fixes on the golden output)")
+        if fixed == golden and n > 0 and n2 == 0:
+            print(f"ok   fix {case['file']} -> {case['golden']} "
+                  f"({n} fixes, idempotent)")
+
+    # Corpus completeness: every rule needs firing and non-firing
+    # fixtures (2+ each for the project passes), so a rule can neither
+    # silently die nor over-trigger without the selftest noticing.
     for rule in sorted(KNOWN_RULES | {"bad-suppression"}):
-        if rule not in fired_rules:
+        need = 2 if rule in _NEW_RULES else 1
+        if fired_rules.get(rule, 0) < need:
             failures += 1
-            print(f"FAIL corpus: rule '{rule}' has no firing fixture")
-        if rule not in clean_rules:
+            print(f"FAIL corpus: rule '{rule}' needs >= {need} firing "
+                  f"fixture(s), has {fired_rules.get(rule, 0)}")
+        if clean_rules.get(rule, 0) < need:
             failures += 1
-            print(f"FAIL corpus: rule '{rule}' has no non-firing fixture")
+            print(f"FAIL corpus: rule '{rule}' needs >= {need} non-firing "
+                  f"fixture(s), has {clean_rules.get(rule, 0)}")
 
     if failures:
         print(f"fc_lint selftest: {failures} failure(s)")
         return 1
-    print(f"fc_lint selftest: all {len(manifest['cases'])} fixtures pass "
+    print(f"fc_lint selftest: all {len(manifest['cases'])} fixtures and "
+          f"{len(manifest.get('fix_cases', []))} fix case(s) pass "
           f"({engine} engine)")
     return 0
 
@@ -1125,6 +2188,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="write current findings as a baseline and exit")
     parser.add_argument("--rules", default=None,
                         help="comma-separated subset of rule ids to run")
+    parser.add_argument("--layers", default=None,
+                        help="module DAG config (default: layers.toml next "
+                             "to this script)")
+    parser.add_argument("--lock-hierarchy", default=None,
+                        help="lock-rank config (default: "
+                             "lock_hierarchy.toml next to this script)")
+    parser.add_argument("--dot-out", default=None,
+                        help="write the observed module include graph as "
+                             "graphviz; exits 1 if the actual graph has a "
+                             "cycle")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite fixable findings in place "
+                             "(umbrella-include, raw-mutex includes) and "
+                             "exit")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--selftest", action="store_true",
                         help="run the fixture corpus and exit")
@@ -1170,9 +2247,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         headers = [f for f in files if f.endswith((".h", ".hpp"))]
         files = sorted(set(tu_files) | set(headers))
 
+    if args.fix:
+        total_fixes = 0
+        for rel in files:
+            abs_path = os.path.join(root, rel)
+            try:
+                with open(abs_path, "r", encoding="utf-8") as f:
+                    text = f.read()
+            except OSError as e:
+                print(f"fc_lint: cannot read {rel}: {e}", file=sys.stderr)
+                continue
+            fixed, nfix = apply_fixes(rel, text)
+            if nfix:
+                with open(abs_path, "w", encoding="utf-8") as f:
+                    f.write(fixed)
+                print(f"fc_lint --fix: {rel}: rewrote {nfix} include(s)")
+                total_fixes += nfix
+        print(f"fc_lint --fix: {total_fixes} fix(es) applied across "
+              f"{len(files)} file(s)")
+        return 0
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    layers_path = os.path.abspath(args.layers) if args.layers else \
+        os.path.join(here, "layers.toml")
+    locks_path = os.path.abspath(args.lock_hierarchy) if \
+        args.lock_hierarchy else os.path.join(here, "lock_hierarchy.toml")
+
+    def _display(p: str) -> str:
+        rel = os.path.relpath(p, root).replace(os.sep, "/")
+        return p.replace(os.sep, "/") if rel.startswith("..") else rel
+
+    ctx = make_context(layers_path, locks_path,
+                       _display(layers_path), _display(locks_path))
+
     baseline = load_baseline(args.baseline)
     blocking, baselined = run_lint(root, files, engine, baseline,
-                                   active_rules)
+                                   active_rules, ctx)
+
+    cycles: List[List[str]] = []
+    if args.dot_out:
+        cycles = write_module_dot(args.dot_out, ctx)
+        print(f"fc_lint: wrote module graph "
+              f"({len(ctx.module_edges)} edges) to {args.dot_out}")
+        for cyc in cycles:
+            print(f"fc_lint: module include cycle: {' -> '.join(cyc)}",
+                  file=sys.stderr)
 
     if args.write_baseline:
         write_baseline(args.write_baseline, blocking)
@@ -1188,7 +2307,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if baseline and stale > 0:
         summary += f", {stale} stale baseline entr(y/ies) — burn them down"
     print(summary)
-    return 1 if blocking else 0
+    return 1 if blocking or cycles else 0
 
 
 if __name__ == "__main__":

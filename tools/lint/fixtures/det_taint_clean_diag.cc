@@ -1,0 +1,17 @@
+// Fixture: determinism-taint MUST NOT fire — worker counts and timer
+// readings flowing ONLY into diagnostics fields (the sanctioned sink),
+// or captured by a parallel body without touching the plan's extent.
+// Linted as src/service/det_taint_clean_diag.cc.
+#include "src/common/parallel.h"
+
+namespace fastcoreset {
+
+void Report(BuildResponse& response, int n) {
+  int w = GetNumThreads();
+  Timer build_timer;
+  response.diagnostics.worker_count = w;
+  response.diagnostics.build_seconds = build_timer.Seconds();
+  ParallelFor(n, [w](int) { (void)w; });  // extent is n alone
+}
+
+}  // namespace fastcoreset

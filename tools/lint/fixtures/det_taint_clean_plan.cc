@@ -1,0 +1,18 @@
+// Fixture: determinism-taint MUST NOT fire — the chunk plan depends on
+// n alone; the worker count only sizes the parallelism budget (which
+// changes scheduling, never results), and the env read is not a
+// thread-count knob.
+// Linted as src/core/det_taint_clean_plan.cc.
+#include "src/common/parallel.h"
+
+namespace fastcoreset {
+
+void PlanFromN(int n) {
+  int chunks = ParallelChunkCount(n);
+  int workers = GetNumThreads();
+  ParallelBudgetScope budget(workers / 2);
+  int verbosity = EnvInt("FC_BUILD_VERBOSE", 0);
+  ParallelFor(n + verbosity - verbosity, [chunks](int) { (void)chunks; });
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,22 @@
+// Fixture: determinism-taint MUST fire — a worker-count-derived value
+// and a timer reading both flow into the chunk plan's extent argument.
+// The plan must be a function of n alone (the bit-reproducibility
+// contract from PR 2/PR 8).
+// Linted as src/core/det_taint_fire_chunk.cc.
+#include "src/common/parallel.h"
+
+namespace fastcoreset {
+
+void PlanByWorkers(int n) {
+  int workers = GetNumThreads();
+  int per = n / workers;
+  ParallelFor(per, [](int) {});  // tainted extent
+}
+
+void PlanByElapsed(int n, Timer& build_timer) {
+  double elapsed = build_timer.Seconds();
+  int budget = n - static_cast<int>(elapsed);
+  ParallelChunkCount(budget);  // tainted extent
+}
+
+}  // namespace fastcoreset

@@ -1,0 +1,20 @@
+// Fixture: determinism-taint MUST fire — thread-count-derived values
+// assigned into a sampler seed and into a non-diagnostics BuildResult
+// field. Only diagnostics may depend on scheduling.
+// Linted as src/service/det_taint_fire_result.cc.
+#include "src/common/parallel.h"
+
+namespace fastcoreset {
+
+struct SamplerSpec {
+  unsigned seed;
+};
+
+void Fill(BuildResult& result, SamplerSpec& spec) {
+  int w = ThreadPoolWorkerCount();
+  spec.seed = 77u + w;        // seed sink
+  result.rows = w * 4;        // non-diagnostics result field
+  result.diagnostics.worker_count = w;  // allowed
+}
+
+}  // namespace fastcoreset

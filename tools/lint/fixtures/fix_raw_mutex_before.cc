@@ -1,0 +1,9 @@
+// Fixture: --fix input — the wrapper header is already included, so
+// both raw includes are simply deleted.
+// Rewritten as src/service/fix_raw_mutex.cc.
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/mutex.h"
+
+int main() { return 0; }

@@ -1,0 +1,12 @@
+// Fixture: --fix input — two per-method headers; the first becomes the
+// umbrella facade, the second is deleted. The suppressed include stays.
+// Rewritten as bench/fix_umbrella.cc.
+#include "src/core/uniform_sampling.h"
+#include "src/streaming/bico.h"
+
+#include <vector>
+
+// fc-lint: allow(umbrella-include): measures the method without facade dispatch overhead
+#include "src/core/sensitivity_sampling.h"
+
+int main() { return 0; }

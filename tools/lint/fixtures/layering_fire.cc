@@ -1,0 +1,14 @@
+// Fixture: layering-violation MUST fire — service may not reach into
+// clustering or streaming (its declared deps are common, geometry, core,
+// data, api; everything else flows through the api facade).
+// Linted as src/service/layering_fire.cc.
+#include "src/api/fastcoreset.h"
+#include "src/clustering/kmeans.h"
+#include "src/common/check.h"
+#include "src/streaming/bico_tree.h"
+
+namespace fastcoreset::service {
+
+int UseAll() { return 0; }
+
+}  // namespace fastcoreset::service

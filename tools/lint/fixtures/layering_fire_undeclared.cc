@@ -1,0 +1,14 @@
+// Fixture: layering-violation MUST fire — geometry sits below core
+// (an upward include inverts the DAG), and 'experimental' is not a
+// module layers.toml knows about at all.
+// Linted as src/geometry/layering_fire_undeclared.cc.
+#include "src/common/check.h"
+#include "src/core/coreset.h"
+#include "src/experimental/prototype.h"
+#include "src/geometry/point.h"
+
+namespace fastcoreset::geometry {
+
+double Distance() { return 0.0; }
+
+}  // namespace fastcoreset::geometry

@@ -1,0 +1,24 @@
+// Fixture: lock-order MUST fire — the PR 8 two-tier scheduler shape,
+// inverted. The TaskGraph bookkeeping mutex (rank 50) is OUTER; the
+// pool dispatch mutex (rank 60) is INNER. Taking the graph mutex while
+// the pool mutex is held deadlocks against the correct-order path.
+// Linted as src/common/lock_order_fire_two_tier.cc.
+#include "src/common/mutex.h"
+
+namespace fastcoreset {
+
+Mutex graph_mutex_{lock_rank::kTaskGraph};
+Mutex pool_mutex_{lock_rank::kPoolDispatch};
+
+void InvertedNesting() {
+  MutexLock pool_hold(&pool_mutex_);
+  MutexLock graph_hold(&graph_mutex_);  // inner -> outer: inversion
+}
+
+// FC_REQUIRES context counts as "held for the whole body".
+void DrainLocked() FC_REQUIRES(pool_mutex_) {
+  graph_mutex_.Lock();  // inversion: rank 50 while rank 60 is held
+  graph_mutex_.Unlock();
+}
+
+}  // namespace fastcoreset

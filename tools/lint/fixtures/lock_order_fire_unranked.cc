@@ -1,0 +1,18 @@
+// Fixture: lock-order MUST fire on declarations that the hierarchy
+// cannot account for — an unranked Mutex, and a ranked one with no
+// [[lock]] entry for this file in lock_hierarchy.toml.
+// Linted as src/service/lock_order_fire_unranked.cc.
+#include "src/common/mutex.h"
+
+namespace fastcoreset::service {
+
+Mutex g_mu;
+
+Mutex cache_mutex_{lock_rank::kCoresetCache};
+
+int Work() {
+  MutexLock hold(&g_mu);
+  return 1;
+}
+
+}  // namespace fastcoreset::service
