@@ -2,7 +2,9 @@
 // cold builds (distinct seeds -> every request misses and builds) vs
 // cached builds (one request repeated -> every request hits), at 1 and 4
 // shards, plus the task-graph shard-overlap ratio (the same shards=4
-// rebuild scheduled concurrently vs sequentially at 4 pool threads).
+// rebuild scheduled concurrently vs sequentially at 4 pool threads), plus
+// the socket-transport cached throughput (4 concurrent loopback clients
+// pipelining the warmed request through NetServer).
 // Emits BENCH_service.json; the CI perf gate compares its "gate" ratios
 // (machine-relative, so a slower runner cannot fail them) against
 // bench/baselines/BENCH_service_baseline.json.
@@ -11,12 +13,21 @@
 // throughput is an average over the batch), FC_SCALE (row multiplier) and
 // FC_K (cluster count).
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/parallel.h"
 #include "src/common/timer.h"
+#include "src/net/net_server.h"
 #include "src/service/service.h"
 
 namespace fastcoreset {
@@ -106,8 +117,102 @@ double MeasureShardOverlap(service::CoresetService& svc, size_t k,
   return sequential / concurrent;
 }
 
+/// All-cache-hit request throughput over the --listen transport: 4
+/// concurrent loopback clients pipelining the warmed shards=1 request
+/// through NetServer (poll loop + bounded queue + worker pool), measured
+/// as aggregate requests/sec. Gated as net_cached_rps / cold_rps — the
+/// served-cache-hit contract: a request over the socket transport must
+/// stay lookup-priced, orders of magnitude cheaper than a rebuild.
+double MeasureNetCachedRps(service::CoresetService& svc, size_t k,
+                           int requests_per_client) {
+  constexpr size_t kClients = 4;
+  net::NetServerOptions options;
+  options.workers = 4;
+  net::NetServer server(svc, options);
+  const auto status = server.Start();
+  FC_CHECK_MSG(status.ok(), status.ToString().c_str());
+  std::thread serve_thread([&server] { server.Serve(); });
+
+  // Warm the seed-7 shards=1 entry (the shards=4 measurement cleared the
+  // cache); every request line below is then a cache hit, so this times
+  // the transport + queue + cache path only.
+  const auto warm = svc.Build(RequestFor(k, /*seed=*/7, /*shards=*/1));
+  FC_CHECK_MSG(warm.ok(), warm.status().ToString().c_str());
+  const std::string line =
+      "{\"verb\":\"build\",\"dataset\":\"bench\",\"method\":"
+      "\"fast_coreset\",\"k\":" +
+      std::to_string(k) + ",\"seed\":7,\"shards\":1}\n";
+
+  const auto run_client = [&](size_t* hits) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    FC_CHECK_MSG(fd >= 0, "socket");
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    FC_CHECK_MSG(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0,
+                 "connect");
+    std::string burst;
+    for (int i = 0; i < requests_per_client; ++i) burst += line;
+    size_t sent = 0;
+    std::string received;
+    char buf[65536];
+    // Interleave sending and receiving: the per-session in-flight cap
+    // backpressures a fire-everything sender, so a real pipelining
+    // client drains responses as it goes.
+    while (static_cast<int>(std::count(received.begin(), received.end(),
+                                       '\n')) < requests_per_client) {
+      if (sent < burst.size()) {
+        const ssize_t n = ::send(fd, burst.data() + sent,
+                                 std::min<size_t>(burst.size() - sent, 1 << 16),
+                                 MSG_NOSIGNAL);
+        FC_CHECK_MSG(n > 0, "send");
+        sent += static_cast<size_t>(n);
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      FC_CHECK_MSG(n > 0, "recv");
+      received.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    size_t count = 0;
+    for (size_t at = received.find("\"cache\":\"hit\"");
+         at != std::string::npos;
+         at = received.find("\"cache\":\"hit\"", at + 1)) {
+      ++count;
+    }
+    *hits = count;
+  };
+
+  std::vector<size_t> hits(kClients, 0);
+  std::vector<std::thread> clients;
+  Timer timer;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back(run_client, &hits[c]);
+  }
+  for (std::thread& client : clients) client.join();
+  const double seconds = timer.Seconds();
+
+  server.RequestDrain();
+  serve_thread.join();
+
+  size_t total_hits = 0;
+  for (size_t count : hits) total_hits += count;
+  const size_t total = kClients * static_cast<size_t>(requests_per_client);
+  FC_CHECK_MSG(total_hits == total,
+               "every net request must be a served cache hit");
+  const double rps = static_cast<double>(total) / seconds;
+  std::printf("net (--listen): %zu clients x %d pipelined cache hits: "
+              "%10.0f req/s aggregate (%.4f ms/req)\n",
+              kClients, requests_per_client, rps, 1e3 * seconds /
+                  static_cast<double>(total));
+  return rps;
+}
+
 void WriteJson(size_t n, size_t d, size_t k, const Cell& one,
-               const Cell& four, double shard_overlap, const char* path) {
+               const Cell& four, double shard_overlap, double net_rps,
+               const char* path) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -123,16 +228,20 @@ void WriteJson(size_t n, size_t d, size_t k, const Cell& one,
   std::fprintf(out,
                "  \"shards4\": {\"cold_rps\": %.3f, \"cached_rps\": %.1f},\n",
                four.cold_rps, four.cached_rps);
+  std::fprintf(out, "  \"net\": {\"clients\": 4, \"cached_rps\": %.1f},\n",
+               net_rps);
   // Machine-relative ratios for the CI gate: what a cache hit saves over
-  // a cold build, and what overlapping shards saves over running them
-  // sequentially. A slower runner shifts numerators and denominators
-  // together.
+  // a cold build (direct and over the socket transport), and what
+  // overlapping shards saves over running them sequentially. A slower
+  // runner shifts numerators and denominators together.
   std::fprintf(out,
                "  \"gate\": {\n"
                "    \"service_cached_speedup\": %.3f,\n"
-               "    \"service_shard_overlap\": %.3f\n"
+               "    \"service_shard_overlap\": %.3f,\n"
+               "    \"service_net_throughput\": %.3f\n"
                "  }\n}\n",
-               one.cached_rps / one.cold_rps, shard_overlap);
+               one.cached_rps / one.cold_rps, shard_overlap,
+               net_rps / one.cold_rps);
   std::fclose(out);
 }
 
@@ -185,8 +294,11 @@ int main() {
 
   const double shard_overlap =
       MeasureShardOverlap(svc, k, std::max(3, bench::Runs()));
+  const double net_rps =
+      MeasureNetCachedRps(svc, k, /*requests_per_client=*/200);
 
-  WriteJson(n, d, k, one, four, shard_overlap, "BENCH_service.json");
+  WriteJson(n, d, k, one, four, shard_overlap, net_rps,
+            "BENCH_service.json");
   std::printf("\nwrote BENCH_service.json (cold=%d cached=%d requests)\n",
               cold_requests, cached_requests);
   return 0;

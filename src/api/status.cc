@@ -15,6 +15,8 @@ std::string FcErrorCodeName(FcErrorCode code) {
       return "failed_precondition";
     case FcErrorCode::kInternal:
       return "internal";
+    case FcErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class FcErrorCode {
   kNotFound,             ///< No registered algorithm under that name.
   kFailedPrecondition,   ///< Inputs don't satisfy the method's needs.
   kInternal,             ///< A bug surfaced as a recoverable error.
+  kUnavailable,          ///< Transient overload — retry later.
 };
 
 /// Human-readable name of an error code ("invalid_argument", ...).
@@ -51,6 +52,11 @@ class FcStatus {
   }
   static FcStatus Internal(std::string message) {
     return FcStatus(FcErrorCode::kInternal, std::move(message));
+  }
+  /// Admission-control rejection: the request was well-formed but the
+  /// server is shedding load. Clients should back off and retry.
+  static FcStatus Unavailable(std::string message) {
+    return FcStatus(FcErrorCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == FcErrorCode::kOk; }

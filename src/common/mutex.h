@@ -65,6 +65,7 @@ namespace lock_rank {
 // fc_lint lock-order pass cross-checks every ranked Mutex declaration
 // against that file.
 inline constexpr int kUnranked = 0;  ///< Exempt (short-lived/test locks).
+inline constexpr int kNetServer = 5;          ///< NetServer sessions/queue.
 inline constexpr int kServiceScheduler = 10;  ///< CoresetService totals.
 inline constexpr int kDatasetStore = 20;      ///< DatasetStore bindings.
 inline constexpr int kCoresetCache = 30;      ///< CoresetCache LRU state.
@@ -244,7 +245,8 @@ namespace lock_rank {
 // FC_ACQUIRED_BEFORE the next), so transitivity orders every ranked
 // pair. Clang checks these under -Wthread-safety-beta; plain
 // -Wthread-safety accepts and ignores them.
-inline Mutex tier_service_scheduler;
+inline Mutex tier_net_server;
+inline Mutex tier_service_scheduler FC_ACQUIRED_AFTER(tier_net_server);
 inline Mutex tier_dataset_store FC_ACQUIRED_AFTER(tier_service_scheduler);
 inline Mutex tier_coreset_cache FC_ACQUIRED_AFTER(tier_dataset_store);
 inline Mutex tier_registry FC_ACQUIRED_AFTER(tier_coreset_cache);

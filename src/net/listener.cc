@@ -1,0 +1,96 @@
+#include "src/net/listener.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace fastcoreset {
+namespace net {
+
+namespace {
+
+api::FcStatus Errno(const char* what) {
+  return api::FcStatus::Internal(std::string(what) + ": " +
+                                 std::strerror(errno));
+}
+
+}  // namespace
+
+TcpListener::~TcpListener() { Close(); }
+
+api::FcStatus TcpListener::Listen(uint16_t port) {
+  if (fd_ >= 0) {
+    return api::FcStatus::FailedPrecondition("listener is already open");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  // REUSEADDR so a drained server can restart on the same port without
+  // waiting out TIME_WAIT sockets from its previous incarnation.
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const api::FcStatus status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const api::FcStatus status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    const api::FcStatus status = Errno("fcntl(O_NONBLOCK)");
+    ::close(fd);
+    return status;
+  }
+
+  // Resolve the bound port (the kernel picked one when port == 0).
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const api::FcStatus status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  port_ = ntohs(bound.sin_port);
+  return api::FcStatus::Ok();
+}
+
+int TcpListener::Accept() {
+  if (fd_ < 0) return -1;
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return client;
+    if (errno == EINTR) continue;
+    // EAGAIN/EWOULDBLOCK: nothing pending. Anything else (ECONNABORTED,
+    // EMFILE, ...) is shed the same way — the poll loop will retry, and
+    // an accept failure must never take the daemon down.
+    return -1;
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace net
+}  // namespace fastcoreset

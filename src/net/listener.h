@@ -1,0 +1,52 @@
+// TcpListener: the accept side of the fc_serve socket transport. Owns a
+// non-blocking loopback TCP listening socket; NetServer polls its fd and
+// drains pending connections with Accept(). Deliberately minimal — every
+// policy decision (admission, limits, drain) lives in NetServer, so this
+// class is just the socket plumbing with FcStatus error reporting (the
+// net layer inherits the service layer's non-aborting contract).
+
+#ifndef FASTCORESET_NET_LISTENER_H_
+#define FASTCORESET_NET_LISTENER_H_
+
+#include <cstdint>
+
+#include "src/api/status.h"
+
+namespace fastcoreset {
+namespace net {
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port, read it
+  /// back via port()), marks the socket non-blocking, and listens.
+  /// Loopback-only by design: fc_serve has no authentication, so the
+  /// daemon must not be reachable off-host.
+  api::FcStatus Listen(uint16_t port);
+
+  /// Accepts one pending connection; the returned fd is blocking (the
+  /// caller decides whether to make it non-blocking). Returns -1 when no
+  /// connection is pending or the listener is closed — accept errors are
+  /// shed silently (the client retries; the server must not die).
+  int Accept();
+
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The bound port (resolved after Listen, also for port 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace fastcoreset
+
+#endif  // FASTCORESET_NET_LISTENER_H_

@@ -58,13 +58,25 @@ class ObjectWriter {
 };
 
 /// Top-level response writer: every response line (success or error)
-/// leads with the protocol version. Nested objects (stats sub-blocks)
-/// use a plain ObjectWriter — the version belongs to the line, not to
-/// every object on it.
-ObjectWriter ResponseWriter() {
+/// leads with the protocol version, then the request's echoed "id"
+/// correlation token (a pre-serialized JSON fragment; empty = absent).
+/// Nested objects (stats sub-blocks) use a plain ObjectWriter — the
+/// version belongs to the line, not to every object on it.
+ObjectWriter ResponseWriter(const std::string& id_echo = std::string()) {
   ObjectWriter out;
   out.Integer("v", kProtocolVersion);
+  if (!id_echo.empty()) out.Raw("id", id_echo);
   return out;
+}
+
+/// Error-response line carrying the request's id echo.
+std::string ErrorResponseWithId(const api::FcStatus& status,
+                                const std::string& id_echo) {
+  ObjectWriter out = ResponseWriter(id_echo);
+  out.Bool("ok", false);
+  out.String("code", api::FcErrorCodeName(status.code()));
+  out.String("message", status.message());
+  return out.Finish();
 }
 
 FcStatus TypeError(const char* key, const char* expected) {
@@ -294,15 +306,19 @@ FcStatusOr<SyntheticSpec> SyntheticFromJson(const JsonValue& obj) {
   return spec;
 }
 
-std::string HandleRegister(CoresetService& service, const JsonValue& request) {
+std::string HandleRegister(CoresetService& service, const JsonValue& request,
+                           const std::string& id_echo) {
+  const auto fail = [&](const FcStatus& status) {
+    return ErrorResponseWithId(status, id_echo);
+  };
   FcStatus status = CheckAllowedKeys(
-      request, {"verb", "name", "csv", "points", "synthetic"});
-  if (!status.ok()) return ErrorResponse(status);
+      request, {"verb", "id", "name", "csv", "points", "synthetic"});
+  if (!status.ok()) return fail(status);
   std::string name;
   status = ReadString(request, "name", &name);
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return fail(status);
   if (name.empty()) {
-    return ErrorResponse(
+    return fail(
         FcStatus::InvalidArgument("register needs a non-empty 'name'"));
   }
 
@@ -312,24 +328,24 @@ std::string HandleRegister(CoresetService& service, const JsonValue& request) {
   const int sources = (csv != nullptr) + (points != nullptr) +
                       (synthetic != nullptr);
   if (sources != 1) {
-    return ErrorResponse(FcStatus::InvalidArgument(
+    return fail(FcStatus::InvalidArgument(
         "register needs exactly one of 'csv', 'points', 'synthetic'"));
   }
 
   if (csv != nullptr) {
-    if (!csv->is_string()) return ErrorResponse(TypeError("csv", "string"));
+    if (!csv->is_string()) return fail(TypeError("csv", "string"));
     status = service.datasets().RegisterCsv(name, csv->string_value());
   } else if (points != nullptr) {
     FcStatusOr<Matrix> matrix = PointsFromJson(*points);
-    if (!matrix.ok()) return ErrorResponse(matrix.status());
+    if (!matrix.ok()) return fail(matrix.status());
     status = service.datasets().RegisterMatrix(name,
                                                std::move(matrix.value()));
   } else {
     FcStatusOr<SyntheticSpec> spec = SyntheticFromJson(*synthetic);
-    if (!spec.ok()) return ErrorResponse(spec.status());
+    if (!spec.ok()) return fail(spec.status());
     status = service.datasets().RegisterSynthetic(name, spec.value());
   }
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return fail(status);
 
   // Re-resolve through the store rather than assuming success: a
   // concurrent Remove() can unbind the name between the Register above
@@ -337,9 +353,9 @@ std::string HandleRegister(CoresetService& service, const JsonValue& request) {
   // server (found by the service concurrency stress test under TSan).
   api::FcStatusOr<std::shared_ptr<const DatasetEntry>> entry_or =
       service.datasets().Get(name);
-  if (!entry_or.ok()) return ErrorResponse(entry_or.status());
+  if (!entry_or.ok()) return fail(entry_or.status());
   const std::shared_ptr<const DatasetEntry>& entry = entry_or.value();
-  ObjectWriter out = ResponseWriter();
+  ObjectWriter out = ResponseWriter(id_echo);
   out.Bool("ok", true);
   out.String("verb", "register");
   out.String("name", name);
@@ -349,43 +365,46 @@ std::string HandleRegister(CoresetService& service, const JsonValue& request) {
   return out.Finish();
 }
 
-std::string HandleBuild(CoresetService& service, const JsonValue& request) {
+std::string HandleBuild(CoresetService& service, const JsonValue& request,
+                        const std::string& id_echo) {
+  const auto fail = [&](const FcStatus& status) {
+    return ErrorResponseWithId(status, id_echo);
+  };
   FcStatus status = CheckAllowedKeys(
-      request, {"verb", "dataset", "method", "k", "m", "z", "seed",
+      request, {"verb", "id", "dataset", "method", "k", "m", "z", "seed",
                 "options", "shards", "parallelism", "use_cache", "output"});
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return fail(status);
 
   BuildRequest build;
   status = ReadString(request, "dataset", &build.dataset);
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return fail(status);
   if (build.dataset.empty()) {
-    return ErrorResponse(
-        FcStatus::InvalidArgument("build needs a 'dataset' name"));
+    return fail(FcStatus::InvalidArgument("build needs a 'dataset' name"));
   }
   FcStatusOr<api::CoresetSpec> spec = SpecFromJson(request);
-  if (!spec.ok()) return ErrorResponse(spec.status());
+  if (!spec.ok()) return fail(spec.status());
   build.spec = std::move(spec.value());
   if (!(status = ReadSizeT(request, "shards", &build.shards)).ok() ||
       !(status = ReadSizeT(request, "parallelism", &build.parallelism))
            .ok() ||
       !(status = ReadBool(request, "use_cache", &build.use_cache)).ok()) {
-    return ErrorResponse(status);
+    return fail(status);
   }
   std::string output;
   status = ReadString(request, "output", &output);
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return fail(status);
 
   FcStatusOr<BuildResponse> response = service.Build(build);
-  if (!response.ok()) return ErrorResponse(response.status());
+  if (!response.ok()) return fail(response.status());
   const Coreset& coreset = response->coreset;
   const ServiceDiagnostics& diag = response->diagnostics;
 
   if (!output.empty() && !SaveCoresetCsv(output, coreset)) {
-    return ErrorResponse(
+    return fail(
         FcStatus::Internal("could not write coreset to '" + output + "'"));
   }
 
-  ObjectWriter out = ResponseWriter();
+  ObjectWriter out = ResponseWriter(id_echo);
   out.Bool("ok", true);
   out.String("verb", "build");
   out.String("dataset", build.dataset);
@@ -430,11 +449,20 @@ std::string HandleBuild(CoresetService& service, const JsonValue& request) {
   return out.Finish();
 }
 
-std::string HandleStats(CoresetService& service, const JsonValue& request) {
-  FcStatus status = CheckAllowedKeys(request, {"verb"});
-  if (!status.ok()) return ErrorResponse(status);
+std::string HandleStats(CoresetService& service, const JsonValue& request,
+                        const std::string& id_echo) {
+  FcStatus status = CheckAllowedKeys(request, {"verb", "id"});
+  if (!status.ok()) return ErrorResponseWithId(status, id_echo);
   const CoresetCache::Stats stats = service.CacheStats();
   const CoresetService::SchedulerTotals totals = service.SchedulerStats();
+  const CoresetService::TransportStats transport = service.TransportLoad();
+
+  // Load gauges of whatever transport fronts the service; all zero in
+  // stdin/stdout mode (the stdio loop has no queue and no sessions).
+  ObjectWriter transport_out;
+  transport_out.Integer("queue_depth", transport.queue_depth);
+  transport_out.Integer("sessions_active", transport.sessions_active);
+  transport_out.Integer("requests_rejected", transport.requests_rejected);
 
   ObjectWriter scheduler;
   scheduler.Integer("graphs_run", totals.graphs_run);
@@ -469,30 +497,36 @@ std::string HandleStats(CoresetService& service, const JsonValue& request) {
   }
   datasets += "]";
 
-  ObjectWriter out = ResponseWriter();
+  ObjectWriter out = ResponseWriter(id_echo);
   out.Bool("ok", true);
   out.String("verb", "stats");
   out.Integer("protocol_version", kProtocolVersion);
   out.Raw("cache", cache.Finish());
   out.Raw("scheduler", scheduler.Finish());
+  out.Raw("transport", transport_out.Finish());
   out.Raw("datasets", datasets);
   return out.Finish();
 }
 
-std::string HandleEvict(CoresetService& service, const JsonValue& request) {
-  FcStatus status = CheckAllowedKeys(request, {"verb", "dataset", "all"});
-  if (!status.ok()) return ErrorResponse(status);
+std::string HandleEvict(CoresetService& service, const JsonValue& request,
+                        const std::string& id_echo) {
+  const auto fail = [&](const FcStatus& status) {
+    return ErrorResponseWithId(status, id_echo);
+  };
+  FcStatus status = CheckAllowedKeys(request,
+                                     {"verb", "id", "dataset", "all"});
+  if (!status.ok()) return fail(status);
   bool all = false;
   status = ReadBool(request, "all", &all);
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return fail(status);
   std::string dataset;
   status = ReadString(request, "dataset", &dataset);
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return fail(status);
 
-  ObjectWriter out = ResponseWriter();
+  ObjectWriter out = ResponseWriter(id_echo);
   if (all ? !dataset.empty() : dataset.empty()) {
     // Exactly one of the two forms, spelled out.
-    return ErrorResponse(FcStatus::InvalidArgument(
+    return fail(FcStatus::InvalidArgument(
         "evict needs either 'dataset' or 'all':true"));
   }
   if (all) {
@@ -503,7 +537,7 @@ std::string HandleEvict(CoresetService& service, const JsonValue& request) {
     return out.Finish();
   }
   FcStatusOr<size_t> evicted = service.EvictDataset(dataset);
-  if (!evicted.ok()) return ErrorResponse(evicted.status());
+  if (!evicted.ok()) return fail(evicted.status());
   out.Bool("ok", true);
   out.String("verb", "evict");
   out.String("dataset", dataset);
@@ -536,10 +570,20 @@ FcStatusOr<api::CoresetSpec> SpecFromJson(const JsonValue& request) {
 }
 
 std::string ErrorResponse(const api::FcStatus& status) {
+  return ErrorResponseWithId(status, std::string());
+}
+
+std::string OverloadResponse(size_t queue_depth, size_t queue_limit) {
   ObjectWriter out = ResponseWriter();
   out.Bool("ok", false);
-  out.String("code", api::FcErrorCodeName(status.code()));
-  out.String("message", status.message());
+  out.String("code",
+             api::FcErrorCodeName(api::FcErrorCode::kUnavailable));
+  out.String("message",
+             "server overloaded: request queue is full (" +
+                 std::to_string(queue_depth) + "/" +
+                 std::to_string(queue_limit) + "); retry later");
+  out.Integer("queue_depth", queue_depth);
+  out.Integer("queue_limit", queue_limit);
   return out.Finish();
 }
 
@@ -551,17 +595,33 @@ std::string HandleRequestLine(CoresetService& service,
     return ErrorResponse(
         FcStatus::InvalidArgument("request must be a JSON object"));
   }
+  // The correlation token is extracted before the verb so that every
+  // outcome below — including "unknown verb" — carries the echo.
+  std::string id_echo;
+  if (const JsonValue* id = request.value().Find("id")) {
+    if (id->is_string()) {
+      AppendJsonString(&id_echo, id->string_value());
+    } else if (id->is_number()) {
+      id_echo = JsonNumber(id->number_value());
+    } else {
+      return ErrorResponse(FcStatus::InvalidArgument(
+          "field 'id' must be a string or number"));
+    }
+  }
   std::string verb;
   FcStatus status = ReadString(request.value(), "verb", &verb);
-  if (!status.ok()) return ErrorResponse(status);
+  if (!status.ok()) return ErrorResponseWithId(status, id_echo);
 
-  if (verb == "register") return HandleRegister(service, request.value());
-  if (verb == "build") return HandleBuild(service, request.value());
-  if (verb == "stats") return HandleStats(service, request.value());
-  if (verb == "evict") return HandleEvict(service, request.value());
-  return ErrorResponse(FcStatus::InvalidArgument(
-      "unknown verb '" + verb +
-      "' (register | build | stats | evict)"));
+  if (verb == "register") {
+    return HandleRegister(service, request.value(), id_echo);
+  }
+  if (verb == "build") return HandleBuild(service, request.value(), id_echo);
+  if (verb == "stats") return HandleStats(service, request.value(), id_echo);
+  if (verb == "evict") return HandleEvict(service, request.value(), id_echo);
+  return ErrorResponseWithId(
+      FcStatus::InvalidArgument("unknown verb '" + verb +
+                                "' (register | build | stats | evict)"),
+      id_echo);
 }
 
 }  // namespace service

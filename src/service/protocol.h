@@ -22,9 +22,20 @@
 // (bit-identity witness); "parallelism" caps the task-graph worker
 // budget (0 = all workers) without changing the result. Pass
 // "output":"path.csv" to also persist the coreset via SaveCoresetCsv.
-// The stats verb reports cache counters, registered datasets, and
-// lifetime task-graph scheduler totals. Unknown fields are rejected —
-// a typoed knob must fail loudly, not silently fall back to a default.
+// The stats verb reports cache counters, registered datasets, lifetime
+// task-graph scheduler totals, and the attached transport's load gauges
+// (queue_depth / sessions_active / requests_rejected — all zero in
+// stdin/stdout mode). Unknown fields are rejected — a typoed knob must
+// fail loudly, not silently fall back to a default.
+//
+// Transport-independent request context: every verb accepts an optional
+// "id" member (string or number) — a client-chosen correlation token
+// echoed verbatim as the response's "id" field, on success and error
+// alike. Pipelined clients on a multiplexed transport use it to match
+// responses to requests; the stdio transport is strictly in-order, so
+// there it is just a convenience. Admission-control rejections
+// (OverloadResponse) are emitted before the line is parsed and carry no
+// echo.
 //
 // The marshalling lives in the library (not the tool) so tests drive the
 // exact production surface: HandleRequestLine is fc_serve's whole loop
@@ -57,6 +68,12 @@ api::FcStatusOr<api::CoresetSpec> SpecFromJson(const JsonValue& request);
 /// Serializes a status as an error-response line (without trailing
 /// newline).
 std::string ErrorResponse(const api::FcStatus& status);
+
+/// Structured admission-control rejection for a transport shedding load:
+/// {"v":1,"ok":false,"code":"unavailable",...} with the queue gauges
+/// that triggered the shed. Deliberately cheap — no JSON parse — so an
+/// overloaded server can reject in O(line length).
+std::string OverloadResponse(size_t queue_depth, size_t queue_limit);
 
 /// Parses one request line, executes it against the service, and returns
 /// the response line (without trailing newline). Never throws or aborts

@@ -195,6 +195,23 @@ CoresetService::SchedulerTotals CoresetService::SchedulerStats() const {
   return scheduler_totals_;
 }
 
+void CoresetService::ReportTransportLoad(size_t queue_depth,
+                                         size_t sessions_active) {
+  MutexLock lock(scheduler_mutex_);
+  transport_stats_.queue_depth = queue_depth;
+  transport_stats_.sessions_active = sessions_active;
+}
+
+void CoresetService::AddTransportRejections(uint64_t count) {
+  MutexLock lock(scheduler_mutex_);
+  transport_stats_.requests_rejected += count;
+}
+
+CoresetService::TransportStats CoresetService::TransportLoad() const {
+  MutexLock lock(scheduler_mutex_);
+  return transport_stats_;
+}
+
 api::FcStatusOr<size_t> CoresetService::EvictDataset(
     const std::string& name) {
   api::FcStatusOr<std::shared_ptr<const DatasetEntry>> dataset =

@@ -119,6 +119,22 @@ class CoresetService {
   };
   SchedulerTotals SchedulerStats() const;
 
+  /// Load gauges + rejection counter reported by whatever transport
+  /// fronts this service (tools/fc_serve's socket listener). The service
+  /// itself never writes them — it is transport-agnostic — but it owns
+  /// the storage so the stats verb can report load without the protocol
+  /// layer knowing which transport is attached. Gauges are
+  /// last-write-wins snapshots; requests_rejected accumulates.
+  struct TransportStats {
+    size_t queue_depth = 0;       ///< Requests queued, not yet executing.
+    size_t sessions_active = 0;   ///< Connected client sessions.
+    uint64_t requests_rejected = 0;  ///< Admission-control rejections.
+  };
+  /// Transport hooks: set the current load gauges / count a shed request.
+  void ReportTransportLoad(size_t queue_depth, size_t sessions_active);
+  void AddTransportRejections(uint64_t count);
+  TransportStats TransportLoad() const;
+
   /// Drops cached builds of the named dataset's content; kNotFound when
   /// the name is not registered.
   api::FcStatusOr<size_t> EvictDataset(const std::string& name);
@@ -129,13 +145,15 @@ class CoresetService {
   ServiceOptions options_;
   DatasetStore store_;
   CoresetCache cache_;
-  /// Rank kServiceScheduler: the outermost lock of the tree (see
+  /// Rank kServiceScheduler: the outermost lock of the service layer —
+  /// only the net transport's kNetServer mutex ranks outside it (see
   /// tools/lint/lock_hierarchy.toml).
   mutable Mutex scheduler_mutex_
       FC_ACQUIRED_AFTER(lock_rank::tier_service_scheduler)
           FC_ACQUIRED_BEFORE(lock_rank::tier_dataset_store){
               lock_rank::kServiceScheduler};
   SchedulerTotals scheduler_totals_ FC_GUARDED_BY(scheduler_mutex_);
+  TransportStats transport_stats_ FC_GUARDED_BY(scheduler_mutex_);
 };
 
 }  // namespace service

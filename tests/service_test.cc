@@ -683,6 +683,83 @@ TEST(ProtocolTest, EndToEndRegisterBuildHitStatsEvict) {
   EXPECT_EQ(Handle(build_line).Find("cache")->string_value(), "miss");
 }
 
+TEST(ServiceTest, TransportLoadGaugesFlowIntoStats) {
+  CoresetService svc;
+
+  const auto Transport = [&]() {
+    const std::string response =
+        service::HandleRequestLine(svc, R"({"verb":"stats"})");
+    auto parsed = service::ParseJson(response);
+    FC_CHECK_MSG(parsed.ok(), response.c_str());
+    FC_CHECK_MSG(parsed->Find("transport") != nullptr, response.c_str());
+    return *parsed->Find("transport");
+  };
+
+  // Without an attached transport every gauge reads zero.
+  const JsonValue idle = Transport();
+  EXPECT_EQ(idle.Find("queue_depth")->number_value(), 0.0);
+  EXPECT_EQ(idle.Find("sessions_active")->number_value(), 0.0);
+  EXPECT_EQ(idle.Find("requests_rejected")->number_value(), 0.0);
+
+  // Gauges are last-write-wins; the rejection counter accumulates.
+  svc.ReportTransportLoad(3, 2);
+  svc.AddTransportRejections(5);
+  svc.AddTransportRejections(2);
+  const CoresetService::TransportStats load = svc.TransportLoad();
+  EXPECT_EQ(load.queue_depth, 3u);
+  EXPECT_EQ(load.sessions_active, 2u);
+  EXPECT_EQ(load.requests_rejected, 7u);
+
+  const JsonValue busy = Transport();
+  EXPECT_EQ(busy.Find("queue_depth")->number_value(), 3.0);
+  EXPECT_EQ(busy.Find("sessions_active")->number_value(), 2.0);
+  EXPECT_EQ(busy.Find("requests_rejected")->number_value(), 7.0);
+
+  svc.ReportTransportLoad(0, 0);
+  const JsonValue drained = Transport();
+  EXPECT_EQ(drained.Find("queue_depth")->number_value(), 0.0);
+  EXPECT_EQ(drained.Find("sessions_active")->number_value(), 0.0);
+  EXPECT_EQ(drained.Find("requests_rejected")->number_value(), 7.0)
+      << "rejections are lifetime totals, not gauges";
+}
+
+TEST(ProtocolTest, IdEchoAndOverloadResponse) {
+  CoresetService svc;
+
+  // A string or numeric "id" is echoed verbatim, on success and error.
+  const auto with_string_id = service::ParseJson(
+      service::HandleRequestLine(svc, R"({"verb":"stats","id":"req-7"})"));
+  ASSERT_TRUE(with_string_id.ok());
+  EXPECT_TRUE(with_string_id->Find("ok")->bool_value());
+  EXPECT_EQ(with_string_id->Find("id")->string_value(), "req-7");
+
+  const auto with_number_id = service::ParseJson(
+      service::HandleRequestLine(svc, R"({"verb":"warp","id":42})"));
+  ASSERT_TRUE(with_number_id.ok());
+  EXPECT_FALSE(with_number_id->Find("ok")->bool_value());
+  EXPECT_EQ(with_number_id->Find("id")->number_value(), 42.0);
+
+  // Any other id type is rejected (and carries no echo to mis-match).
+  const auto bad_id = service::ParseJson(
+      service::HandleRequestLine(svc, R"({"verb":"stats","id":[1]})"));
+  ASSERT_TRUE(bad_id.ok());
+  EXPECT_FALSE(bad_id->Find("ok")->bool_value());
+  EXPECT_EQ(bad_id->Find("code")->string_value(), "invalid_argument");
+  EXPECT_EQ(bad_id->Find("id"), nullptr);
+
+  // The admission-control rejection is a valid protocol line carrying
+  // the gauges that triggered the shed.
+  const auto overload =
+      service::ParseJson(service::OverloadResponse(9, 8));
+  ASSERT_TRUE(overload.ok());
+  EXPECT_EQ(overload->Find("v")->number_value(), 1.0);
+  EXPECT_FALSE(overload->Find("ok")->bool_value());
+  EXPECT_EQ(overload->Find("code")->string_value(), "unavailable");
+  EXPECT_EQ(overload->Find("queue_depth")->number_value(), 9.0);
+  EXPECT_EQ(overload->Find("queue_limit")->number_value(), 8.0);
+  EXPECT_FALSE(overload->Find("message")->string_value().empty());
+}
+
 TEST(ProtocolTest, MalformedRequestsGetErrorResponsesNotCrashes) {
   CoresetService svc;
   for (const char* line :

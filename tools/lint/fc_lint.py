@@ -4,8 +4,9 @@
 Generic tools cannot see this project's three load-bearing contracts:
 
   * bit-identical results at any FC_THREADS (the determinism contract),
-  * the non-aborting FcStatus/FcStatusOr error model in src/api/ and
-    src/service/ (the serving stack must never die on a bad request),
+  * the non-aborting FcStatus/FcStatusOr error model in src/api/,
+    src/service/, and src/net/ (the serving stack must never die on a
+    bad request or misbehaving client),
   * the PR 6 annotated-locking discipline (src/common/mutex.h wrappers).
 
 fc_lint makes them machine-checked. Each rule has an ID, a fix-it-style
@@ -21,7 +22,8 @@ Rules (see RULES below for scope and details):
 
   status-value-unchecked   .value()/operator*/-> on an FcStatusOr with no
                            dominating .ok() guard in the enclosing function
-  no-abort-in-service      FC_CHECK/abort/throw/exit in src/api, src/service
+  no-abort-in-service      FC_CHECK/abort/throw/exit in src/api,
+                           src/service, src/net
   raw-mutex                std::mutex & friends outside src/common/mutex.h
   nondeterministic-iteration  iterating unordered_{map,set} in src/
   banned-entropy           rand/random_device/time/chrono-now outside the
@@ -625,16 +627,17 @@ def rule_no_abort_in_service(path: str, tokens: List[Token]) -> List[Finding]:
             findings.append(Finding(
                 path, tok.line, "no-abort-in-service",
                 "'throw' in the status-returning error model; return "
-                "FcStatus::Internal(...) (src/api and src/service promised "
-                "a non-aborting surface in PR 4)"))
+                "FcStatus::Internal(...) (src/api, src/service, and "
+                "src/net promise a non-aborting surface)"))
             continue
         nxt = tokens[i + 1] if i + 1 < len(tokens) else None
         if nxt is None or not (nxt.kind == "punct" and nxt.text == "("):
             continue  # mention, not a call/macro invocation
         findings.append(Finding(
             path, tok.line, "no-abort-in-service",
-            f"'{tok.text}' aborts the process; src/api and src/service "
-            f"promised a status-returning error model — return a non-ok "
+            f"'{tok.text}' aborts the process; src/api, src/service, and "
+            f"src/net promise a status-returning error model — return a "
+            f"non-ok "
             f"FcStatus instead, or suppress with a rationale naming the "
             f"invariant that makes aborting correct"))
     return findings
@@ -1823,12 +1826,12 @@ def apply_fixes(rel_path: str, text: str) -> Tuple[str, int]:
 
 
 def _scope_status_value(p: str) -> bool:
-    return (_under(p, ["src/api", "src/service"]) or
+    return (_under(p, ["src/api", "src/service", "src/net"]) or
             (_under(p, ["tools"]) and not _under(p, ["tools/lint"])))
 
 
 def _scope_no_abort(p: str) -> bool:
-    return _under(p, ["src/api", "src/service"])
+    return _under(p, ["src/api", "src/service", "src/net"])
 
 
 def _scope_raw_mutex(p: str) -> bool:
@@ -1868,12 +1871,12 @@ RULES: Dict[str, Dict[str, object]] = {
         "scope": _scope_status_value,
         "doc": "FcStatusOr .value()/operator*/-> with no dominating .ok() "
                "guard in the enclosing function (src/api, src/service, "
-               "tools).",
+               "src/net, tools).",
     },
     "no-abort-in-service": {
         "scope": _scope_no_abort,
         "doc": "FC_CHECK/abort/throw/exit in the status-returning layers "
-               "(src/api, src/service).",
+               "(src/api, src/service, src/net).",
     },
     "raw-mutex": {
         "scope": _scope_raw_mutex,
